@@ -1,0 +1,59 @@
+// Command ebbiot-resources prints the paper's analytic resource models
+// (Eqs. 1-8) and the Fig. 5 comparison of total computes and memory across
+// the three pipelines.
+//
+// Usage:
+//
+//	ebbiot-resources
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"ebbiot/internal/resources"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "ebbiot-resources:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	p := resources.PaperDefaults()
+	ot := resources.DefaultOTParams()
+
+	fmt.Println("# Per-block models (Section II)")
+	fmt.Printf("Eq.1 C_EBBI    = %8.1f kops/frame   M_EBBI    = %7.2f kB\n",
+		p.EBBIComputes()/1000, p.EBBIMemoryBits()/8192)
+	fmt.Printf("Eq.2 C_NN-filt = %8.1f kops/frame   M_NN-filt = %7.2f kB (%.0fx EBBI)\n",
+		p.NNFiltComputes()/1000, p.NNFiltMemoryBits()/8192, p.NNFiltMemoryBits()/p.EBBIMemoryBits())
+	fmt.Printf("Eq.5 C_RPN     = %8.1f kops/frame   M_RPN     = %7.2f kB\n",
+		p.RPNComputes()/1000, p.RPNMemoryBits()/8192)
+	fmt.Printf("Eq.6 C_OT      = %8.1f kops/frame   M_OT      = %7.2f kB\n",
+		p.OTComputes(ot)/1000, p.OTMemoryBits()/8192)
+	fmt.Printf("Eq.7 C_KF      = %8.1f kops/frame   M_KF      = %7.2f kB\n",
+		p.KFComputesPaper()/1000, p.KFMemoryBitsPaper()/8192)
+	fmt.Printf("Eq.8 C_EBMS    = %8.1f kops/frame   M_EBMS    = %7.2f kB\n",
+		p.EBMSComputes()/1000, p.EBMSMemoryBits()/8192)
+
+	cmp, err := p.Compare(ot)
+	if err != nil {
+		return err
+	}
+	fmt.Println("\n# Fig. 5 reproduction: pipeline totals relative to EBBIOT")
+	fmt.Printf("%-10s %14s %12s %12s %10s\n", "pipeline", "computes(kops)", "memory(kB)", "rel.computes", "rel.memory")
+	for i, b := range cmp.Budgets {
+		fmt.Printf("%-10s %14.1f %12.2f %12.2f %10.2f\n",
+			b.Pipeline, b.ComputesOps/1000, b.KBytes(), cmp.RelComputes[i], cmp.RelMemory[i])
+	}
+
+	cnn := resources.CNNRPNEstimate()
+	fmt.Println("\n# CNN-RPN comparison (abstract's >1000x claim)")
+	fmt.Printf("CNN detector floor: %.0f Mops/frame, %.0f MB\n", cnn.ComputesOps/1e6, cnn.MemoryBits/8192/1024)
+	fmt.Printf("vs histogram RPN:   %.0fx computes, %.0fx memory\n",
+		cnn.ComputesOps/p.RPNComputes(), cnn.MemoryBits/p.RPNMemoryBits())
+	return nil
+}

@@ -1,0 +1,98 @@
+// Duty cycle: reproduces the Fig. 2 operating model. The sensor latches
+// events while the processor sleeps; a timer interrupt every tF wakes the
+// processor, which reads the binary image, runs the pipeline, and sleeps
+// again. This example measures the actual per-frame processing time of the
+// Go pipeline, feeds it into the duty-cycle power model, and contrasts the
+// result with event-interrupt operation where background noise never lets
+// the processor sleep.
+package main
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	"ebbiot/internal/core"
+	"ebbiot/internal/ebbi"
+	"ebbiot/internal/events"
+	"ebbiot/internal/scene"
+	"ebbiot/internal/sensor"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "dutycycle:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	sc := scene.SingleObjectScene(events.DAVIS240, 3_000_000)
+	simCfg := sensor.DefaultConfig(3)
+	sim, err := sensor.New(simCfg, sc)
+	if err != nil {
+		return err
+	}
+	sys, err := core.NewEBBIOT(core.DefaultConfig())
+	if err != nil {
+		return err
+	}
+
+	const frameUS = 66_000
+	var busy time.Duration
+	var frames int
+	var totalEvents int
+	for cursor := int64(0); cursor+frameUS <= sc.DurationUS; cursor += frameUS {
+		evs, err := sim.Events(cursor, cursor+frameUS)
+		if err != nil {
+			return err
+		}
+		totalEvents += len(evs)
+		start := time.Now()
+		if _, err := sys.ProcessWindow(evs); err != nil {
+			return err
+		}
+		busy += time.Since(start)
+		frames++
+	}
+	perFrame := busy / time.Duration(frames)
+
+	fmt.Printf("frames: %d, events: %d (%.0f/frame), mean processing: %v/frame\n",
+		frames, totalEvents, float64(totalEvents)/float64(frames), perFrame)
+
+	dc := ebbi.DutyCycle{FrameUS: frameUS, ActivePowerMW: 100, SleepPowerMW: 0.5}
+	rep, err := dc.Analyze(perFrame.Microseconds())
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\nFig. 2 operating model (tF = 66 ms, 100 mW active / 0.5 mW sleep):\n")
+	fmt.Printf("  sleep fraction:  %5.1f%%\n", rep.SleepFraction*100)
+	fmt.Printf("  average power:   %5.2f mW (vs %.0f mW always-on)\n", rep.AvgPowerMW, rep.AlwaysOnPowerMW)
+	fmt.Printf("  power savings:   %5.1fx\n", rep.Savings)
+
+	// Contrast with the event-interrupt mode the paper argues against: the
+	// sensor raises an interrupt per event, and background noise alone
+	// (~1 Hz/pixel over 43200 pixels) keeps the processor awake.
+	ev := ebbi.EventInterruptModel{
+		EventRateHz:    float64(totalEvents) / (float64(sc.DurationUS) / 1e6),
+		WakeOverheadUS: 20,
+		HandlingUS:     2,
+		BatchSize:      1,
+		ActivePowerMW:  100,
+		SleepPowerMW:   0.5,
+	}
+	evRep, err := ev.Analyze()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\nEvent-interrupt mode at the same event rate (%.0f ev/s):\n", ev.EventRateHz)
+	fmt.Printf("  sleep fraction:  %5.1f%%\n", evRep.SleepFraction*100)
+	fmt.Printf("  average power:   %5.2f mW\n", evRep.AvgPowerMW)
+	fmt.Printf("  EBBI advantage:  %5.1fx lower power\n", evRep.AvgPowerMW/rep.AvgPowerMW)
+
+	fmt.Println("\nWhy event interrupts cannot sleep: at the paper's sensor noise rates the")
+	fmt.Println("array emits background events continuously, so an event-interrupt design")
+	fmt.Println("wakes for every spurious event. The EBBI scheme wakes exactly 15 times/s")
+	fmt.Println("regardless of noise, because the sensor array itself stores the frame.")
+	return nil
+}

@@ -1,0 +1,96 @@
+// Occlusion: demonstrates step 5 of the overlap tracker. A fast car
+// overtakes a slower one in an adjacent lane; while their images overlap
+// the region proposal merges into a single box, and the tracker must keep
+// both identities alive by coasting on predictions (the paper's
+// prediction-based occlusion handling). The same scene is run with the
+// handling disabled to show the failure mode.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"ebbiot/internal/core"
+	"ebbiot/internal/events"
+	"ebbiot/internal/scene"
+	"ebbiot/internal/sensor"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "occlusion:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	for _, handling := range []bool{true, false} {
+		survived, err := trackCrossing(handling)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("occlusion handling %-5v -> pre-crossing identities surviving the crossing: %d of 2\n", handling, survived)
+	}
+	fmt.Println("\nWith handling ON the two vehicles keep their identities through the")
+	fmt.Println("merged-proposal frames; with handling OFF the contested proposal merges")
+	fmt.Println("the trackers and one identity is lost.")
+	return nil
+}
+
+// trackCrossing runs the crossing scene and returns how many of the track
+// identities established before the crossing are still reported after the
+// objects separate again (the cars cross around t = 2.2 s and separate by
+// t = 3 s).
+func trackCrossing(occlusionHandling bool) (int, error) {
+	sc := scene.CrossingScene(events.DAVIS240, 4_600_000)
+	simCfg := sensor.DefaultConfig(7)
+	simCfg.NoiseRatePerPixelHz = 0.2
+	sim, err := sensor.New(simCfg, sc)
+	if err != nil {
+		return 0, err
+	}
+	cfg := core.DefaultConfig()
+	cfg.Tracker.OcclusionHandling = occlusionHandling
+	sys, err := core.NewEBBIOT(cfg)
+	if err != nil {
+		return 0, err
+	}
+	const frameUS = 66_000
+	before := map[int]bool{} // IDs confirmed before the crossing
+	after := map[int]bool{}  // IDs reported after separation
+	for cursor := int64(0); cursor+frameUS <= sc.DurationUS; cursor += frameUS {
+		evs, err := sim.Events(cursor, cursor+frameUS)
+		if err != nil {
+			return 0, err
+		}
+		if _, err := sys.ProcessWindow(evs); err != nil {
+			return 0, err
+		}
+		for _, tr := range sys.Tracker().Tracks() {
+			if !tr.Confirmed(cfg.Tracker.MinHits) {
+				continue
+			}
+			switch {
+			case cursor < 1_800_000:
+				before[tr.ID] = true
+			case cursor > 3_200_000:
+				after[tr.ID] = true
+			}
+		}
+		states := sc.At(cursor)
+		if len(states) == 2 {
+			overlap := states[0].Box.IntersectionArea(states[1].Box)
+			if overlap > 0 && cursor%330_000 == 0 {
+				fmt.Printf("  t=%.2fs objects overlap by %.0f px^2, active tracks: %d\n",
+					float64(cursor)/1e6, overlap, sys.Tracker().ActiveTracks())
+			}
+		}
+	}
+	survived := 0
+	for id := range before {
+		if after[id] {
+			survived++
+		}
+	}
+	return survived, nil
+}

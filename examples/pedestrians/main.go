@@ -1,0 +1,115 @@
+// Pedestrians: the paper's future-work extension. A walking human moves
+// sub-pixel per 66 ms frame, so its events are too sparse for the base
+// EBBIOT pipeline's median filter and RPN threshold — the paper notes "we
+// have not tracked slow and small objects like humans" and proposes a two
+// time scale approach with a longer second exposure. This example runs the
+// base pipeline and the two-timescale pipeline on the same
+// pedestrian-plus-car scene and prints per-class recall for both.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"ebbiot/internal/core"
+	"ebbiot/internal/events"
+	"ebbiot/internal/scene"
+	"ebbiot/internal/sensor"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "pedestrians:", err)
+		os.Exit(1)
+	}
+}
+
+func mixedScene(durationUS int64) *scene.Scene {
+	return &scene.Scene{
+		Res:        events.DAVIS240,
+		DurationUS: durationUS,
+		Objects: []scene.Object{
+			{
+				ID: 0, Kind: scene.KindHuman, W: 7, H: 15, LaneY: 20,
+				X0: 40, VX: 7, EnterUS: 0, ExitUS: durationUS, Z: 1,
+				EdgeDensity: 0.8, InteriorDensity: 0.25,
+			},
+			{
+				ID: 1, Kind: scene.KindCar, W: 32, H: 18, LaneY: 90,
+				X0: -32, VX: 55, EnterUS: 0, ExitUS: durationUS, Z: 2,
+				EdgeDensity: 0.9, InteriorDensity: 0.2,
+			},
+		},
+	}
+}
+
+func recallByKind(sys core.System, seed uint64) (human, car float64, err error) {
+	sc := mixedScene(8_000_000)
+	cfg := sensor.DefaultConfig(seed)
+	cfg.NoiseRatePerPixelHz = 0.3
+	sim, err := sensor.New(cfg, sc)
+	if err != nil {
+		return 0, 0, err
+	}
+	var hHit, hTot, cHit, cTot int
+	for cursor := int64(0); cursor+66_000 <= sc.DurationUS; cursor += 66_000 {
+		evs, err := sim.Events(cursor, cursor+66_000)
+		if err != nil {
+			return 0, 0, err
+		}
+		boxes, err := sys.ProcessWindow(evs)
+		if err != nil {
+			return 0, 0, err
+		}
+		if cursor < 1_000_000 {
+			continue
+		}
+		for _, g := range sc.GroundTruth(cursor+66_000, 20) {
+			matched := false
+			for _, b := range boxes {
+				if b.IoU(g.Box) > 0.3 {
+					matched = true
+					break
+				}
+			}
+			if g.Kind == scene.KindHuman {
+				hTot++
+				if matched {
+					hHit++
+				}
+			} else {
+				cTot++
+				if matched {
+					cHit++
+				}
+			}
+		}
+	}
+	return float64(hHit) / float64(hTot), float64(cHit) / float64(cTot), nil
+}
+
+func run() error {
+	base, err := core.NewEBBIOT(core.DefaultConfig())
+	if err != nil {
+		return err
+	}
+	bh, bc, err := recallByKind(base, 51)
+	if err != nil {
+		return err
+	}
+	two, err := core.NewTwoTimescale(core.DefaultTwoTimescaleConfig())
+	if err != nil {
+		return err
+	}
+	th, tc, err := recallByKind(two, 51)
+	if err != nil {
+		return err
+	}
+	fmt.Println("Recall at IoU 0.3 on a pedestrian + car scene (8 s):")
+	fmt.Printf("  %-22s human %5.2f   car %5.2f\n", "EBBIOT (tF=66ms):", bh, bc)
+	fmt.Printf("  %-22s human %5.2f   car %5.2f\n", "EBBIOT-2TS (+264ms):", th, tc)
+	fmt.Println("\nThe walking human yields ~0.5 px of motion per base frame — too few")
+	fmt.Println("events to survive the median filter. The second, 4x longer exposure")
+	fmt.Println("integrates enough events to track it, without disturbing the fast lane.")
+	return nil
+}

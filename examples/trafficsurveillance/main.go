@@ -1,0 +1,62 @@
+// Traffic surveillance: the paper's headline scenario. Generates a short
+// ENG-style junction recording (two lanes, mixed vehicle classes, tree
+// distractor), runs all three pipelines over it, and prints each system's
+// precision/recall — a miniature of the Fig. 4 comparison, runnable in a
+// few seconds.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"ebbiot/internal/core"
+	"ebbiot/internal/dataset"
+	"ebbiot/internal/eval"
+	"ebbiot/internal/metrics"
+	"ebbiot/internal/roe"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "trafficsurveillance:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	mask := roe.New(dataset.TreeROEENG())
+	factories := map[string]eval.SystemFactory{
+		"EBBIOT": func() (core.System, error) {
+			return core.NewEBBIOT(core.DefaultConfig().WithROE(mask))
+		},
+		"EBBI+KF": func() (core.System, error) {
+			cfg := core.DefaultKFConfig()
+			cfg.ROE = mask
+			return core.NewEBBIKF(cfg)
+		},
+		"EBMS": func() (core.System, error) {
+			cfg := core.DefaultEBMSConfig()
+			cfg.ROE = mask
+			return core.NewEBMS(cfg)
+		},
+	}
+	recs := []eval.RecordingSpec{
+		{Name: "ENG", Preset: dataset.ENG, Scale: 20.0 / 2998.4, Seed: 21},
+	}
+	results, err := eval.CompareSystems(factories, recs, metrics.DefaultThresholds(), eval.DefaultOptions())
+	if err != nil {
+		return err
+	}
+	fmt.Println("20 s ENG-style junction recording, 3 systems, IoU thresholds 0.3-0.7")
+	fmt.Println()
+	for _, r := range results {
+		fmt.Printf("%-8s:", r.System)
+		for _, p := range r.Points {
+			fmt.Printf("  P%.2f/R%.2f", p.Precision, p.Recall)
+		}
+		fmt.Println()
+	}
+	fmt.Println("\n(The EBBIOT row should dominate and stay flattest as the threshold rises;")
+	fmt.Println(" EBMS keeps recall at low thresholds but its scatter-derived boxes lose IoU.)")
+	return nil
+}

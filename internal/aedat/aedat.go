@@ -1,0 +1,275 @@
+// Package aedat implements a compact binary container for address-event
+// recordings, modelled on the AEDAT format produced by DAVIS tooling.
+//
+// Layout (all little endian):
+//
+//	magic    [8]byte  "EBBIAER1"
+//	width    uint16   sensor columns (A)
+//	height   uint16   sensor rows (B)
+//	count    uint64   number of events
+//	events   count * 10 bytes:
+//	           x  uint16
+//	           y  uint16
+//	           dt uint32  timestamp delta from previous event (us)
+//	           p  uint8   1 = ON, 0 = OFF
+//	           _  uint8   reserved (0)
+//
+// Delta-encoded timestamps keep 1-hour recordings within uint32 range per
+// event while preserving microsecond resolution.
+package aedat
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"ebbiot/internal/events"
+)
+
+var magic = [8]byte{'E', 'B', 'B', 'I', 'A', 'E', 'R', '1'}
+
+// ErrBadMagic is returned when the stream does not start with the format
+// magic.
+var ErrBadMagic = errors.New("aedat: bad magic (not an EBBI AER recording)")
+
+const eventSize = 10
+
+// header is the fixed-size file prefix.
+type header struct {
+	Magic  [8]byte
+	Width  uint16
+	Height uint16
+	Count  uint64
+}
+
+// Write encodes a sorted event stream to w. It returns an error if the
+// stream is unsorted, an event lies outside the resolution, or consecutive
+// timestamps differ by more than 2^32-1 microseconds.
+func Write(w io.Writer, res events.Resolution, evs []events.Event) error {
+	if err := res.Validate(); err != nil {
+		return err
+	}
+	if !events.Sorted(evs) {
+		return events.ErrUnsorted
+	}
+	bw := bufio.NewWriter(w)
+	h := header{Magic: magic, Width: uint16(res.A), Height: uint16(res.B), Count: uint64(len(evs))}
+	if err := binary.Write(bw, binary.LittleEndian, h); err != nil {
+		return fmt.Errorf("aedat: writing header: %w", err)
+	}
+	var buf [eventSize]byte
+	prev := int64(0)
+	for i, e := range evs {
+		if !res.Contains(int(e.X), int(e.Y)) {
+			return fmt.Errorf("aedat: event %d at (%d,%d) outside %dx%d", i, e.X, e.Y, res.A, res.B)
+		}
+		dt := e.T - prev
+		if dt < 0 || dt > 0xFFFFFFFF {
+			return fmt.Errorf("aedat: event %d timestamp delta %d out of range", i, dt)
+		}
+		prev = e.T
+		binary.LittleEndian.PutUint16(buf[0:2], uint16(e.X))
+		binary.LittleEndian.PutUint16(buf[2:4], uint16(e.Y))
+		binary.LittleEndian.PutUint32(buf[4:8], uint32(dt))
+		if e.P == events.On {
+			buf[8] = 1
+		} else {
+			buf[8] = 0
+		}
+		buf[9] = 0
+		if _, err := bw.Write(buf[:]); err != nil {
+			return fmt.Errorf("aedat: writing event %d: %w", i, err)
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		return fmt.Errorf("aedat: flushing: %w", err)
+	}
+	return nil
+}
+
+// Read decodes a full recording from r.
+func Read(r io.Reader) (events.Resolution, []events.Event, error) {
+	dec, err := NewReader(r)
+	if err != nil {
+		return events.Resolution{}, nil, err
+	}
+	evs := make([]events.Event, 0, dec.Remaining())
+	for {
+		e, err := dec.Next()
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if err != nil {
+			return dec.Resolution(), nil, err
+		}
+		evs = append(evs, e)
+	}
+	return dec.Resolution(), evs, nil
+}
+
+// Reader decodes a recording incrementally, so hour-long streams can be
+// processed frame by frame without holding every event in memory.
+type Reader struct {
+	br        *bufio.Reader
+	res       events.Resolution
+	remaining uint64
+	prevT     int64
+}
+
+// NewReader parses the header and returns a streaming decoder.
+func NewReader(r io.Reader) (*Reader, error) {
+	br := bufio.NewReader(r)
+	var h header
+	if err := binary.Read(br, binary.LittleEndian, &h); err != nil {
+		return nil, fmt.Errorf("aedat: reading header: %w", err)
+	}
+	if h.Magic != magic {
+		return nil, ErrBadMagic
+	}
+	res := events.Resolution{A: int(h.Width), B: int(h.Height)}
+	if err := res.Validate(); err != nil {
+		return nil, err
+	}
+	return &Reader{br: br, res: res, remaining: h.Count}, nil
+}
+
+// Resolution returns the recording's sensor resolution.
+func (r *Reader) Resolution() events.Resolution { return r.res }
+
+// Remaining returns how many events have not yet been decoded.
+func (r *Reader) Remaining() uint64 { return r.remaining }
+
+// Next decodes one event, returning io.EOF after the last one.
+func (r *Reader) Next() (events.Event, error) {
+	if r.remaining == 0 {
+		return events.Event{}, io.EOF
+	}
+	var buf [eventSize]byte
+	if _, err := io.ReadFull(r.br, buf[:]); err != nil {
+		return events.Event{}, fmt.Errorf("aedat: reading event: %w", err)
+	}
+	r.remaining--
+	x := binary.LittleEndian.Uint16(buf[0:2])
+	y := binary.LittleEndian.Uint16(buf[2:4])
+	dt := binary.LittleEndian.Uint32(buf[4:8])
+	r.prevT += int64(dt)
+	p := events.Off
+	if buf[8] == 1 {
+		p = events.On
+	}
+	e := events.Event{X: int16(x), Y: int16(y), T: r.prevT, P: p}
+	if !r.res.Contains(int(e.X), int(e.Y)) {
+		return events.Event{}, fmt.Errorf("aedat: decoded event at (%d,%d) outside %dx%d", e.X, e.Y, r.res.A, r.res.B)
+	}
+	return e, nil
+}
+
+// NextWindow decodes all events with timestamps below end. It is the
+// streaming analogue of events.Windows for frame-driven pipelines: call it
+// once per frame interrupt with end = frame boundary. Returns io.EOF along
+// with any final events once the stream is exhausted.
+func (r *Reader) NextWindow(end int64) ([]events.Event, error) {
+	var out []events.Event
+	for {
+		if r.remaining == 0 {
+			return out, io.EOF
+		}
+		// Peek at the next event's delta to see if it crosses the boundary.
+		hdr, err := r.br.Peek(eventSize)
+		if err != nil {
+			return out, fmt.Errorf("aedat: peeking event: %w", err)
+		}
+		dt := binary.LittleEndian.Uint32(hdr[4:8])
+		if r.prevT+int64(dt) >= end {
+			return out, nil
+		}
+		e, err := r.Next()
+		if err != nil {
+			return out, err
+		}
+		out = append(out, e)
+	}
+}
+
+// Writer encodes a recording incrementally. The caller must Close to flush
+// the buffered tail and must know the event count in advance is NOT
+// required: the header count is back-filled only when the underlying writer
+// is an io.WriteSeeker; otherwise use Write for one-shot encoding.
+type Writer struct {
+	w     io.WriteSeeker
+	bw    *bufio.Writer
+	res   events.Resolution
+	prevT int64
+	count uint64
+}
+
+// NewWriter writes a provisional header and returns a streaming encoder.
+func NewWriter(w io.WriteSeeker, res events.Resolution) (*Writer, error) {
+	if err := res.Validate(); err != nil {
+		return nil, err
+	}
+	bw := bufio.NewWriter(w)
+	h := header{Magic: magic, Width: uint16(res.A), Height: uint16(res.B)}
+	if err := binary.Write(bw, binary.LittleEndian, h); err != nil {
+		return nil, fmt.Errorf("aedat: writing header: %w", err)
+	}
+	return &Writer{w: w, bw: bw, res: res}, nil
+}
+
+// Append encodes a batch of events, which must continue the sorted order of
+// everything written so far.
+func (w *Writer) Append(evs []events.Event) error {
+	var buf [eventSize]byte
+	for i, e := range evs {
+		if !w.res.Contains(int(e.X), int(e.Y)) {
+			return fmt.Errorf("aedat: event %d at (%d,%d) outside %dx%d", i, e.X, e.Y, w.res.A, w.res.B)
+		}
+		dt := e.T - w.prevT
+		if dt < 0 {
+			return events.ErrUnsorted
+		}
+		if dt > 0xFFFFFFFF {
+			return fmt.Errorf("aedat: timestamp delta %d out of range", dt)
+		}
+		w.prevT = e.T
+		binary.LittleEndian.PutUint16(buf[0:2], uint16(e.X))
+		binary.LittleEndian.PutUint16(buf[2:4], uint16(e.Y))
+		binary.LittleEndian.PutUint32(buf[4:8], uint32(dt))
+		if e.P == events.On {
+			buf[8] = 1
+		} else {
+			buf[8] = 0
+		}
+		buf[9] = 0
+		if _, err := w.bw.Write(buf[:]); err != nil {
+			return fmt.Errorf("aedat: writing event: %w", err)
+		}
+		w.count++
+	}
+	return nil
+}
+
+// Close flushes buffered events and back-fills the header's event count.
+func (w *Writer) Close() error {
+	if err := w.bw.Flush(); err != nil {
+		return fmt.Errorf("aedat: flushing: %w", err)
+	}
+	// Seek back to the count field (offset 12: magic 8 + width 2 + height 2).
+	if _, err := w.w.Seek(12, io.SeekStart); err != nil {
+		return fmt.Errorf("aedat: seeking to header: %w", err)
+	}
+	var cnt [8]byte
+	binary.LittleEndian.PutUint64(cnt[:], w.count)
+	if _, err := w.w.Write(cnt[:]); err != nil {
+		return fmt.Errorf("aedat: back-filling count: %w", err)
+	}
+	if _, err := w.w.Seek(0, io.SeekEnd); err != nil {
+		return fmt.Errorf("aedat: seeking to end: %w", err)
+	}
+	return nil
+}
+
+// Count returns the number of events appended so far.
+func (w *Writer) Count() uint64 { return w.count }

@@ -1,0 +1,279 @@
+package aedat
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+	"testing/quick"
+
+	"ebbiot/internal/events"
+)
+
+func sample() []events.Event {
+	return []events.Event{
+		{X: 0, Y: 0, T: 0, P: events.On},
+		{X: 239, Y: 179, T: 15, P: events.Off},
+		{X: 7, Y: 9, T: 15, P: events.On}, // duplicate timestamp allowed
+		{X: 100, Y: 50, T: 1_000_000, P: events.Off},
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Write(&buf, events.DAVIS240, sample()); err != nil {
+		t.Fatal(err)
+	}
+	res, got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res != events.DAVIS240 {
+		t.Errorf("resolution = %v", res)
+	}
+	want := sample()
+	if len(got) != len(want) {
+		t.Fatalf("got %d events, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("event %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestRoundTripEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Write(&buf, events.DAVIS240, nil); err != nil {
+		t.Fatal(err)
+	}
+	_, got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Errorf("empty round trip yielded %d events", len(got))
+	}
+}
+
+func TestWriteRejectsUnsorted(t *testing.T) {
+	evs := []events.Event{{T: 10}, {T: 5}}
+	var buf bytes.Buffer
+	if err := Write(&buf, events.DAVIS240, evs); !errors.Is(err, events.ErrUnsorted) {
+		t.Errorf("want ErrUnsorted, got %v", err)
+	}
+}
+
+func TestWriteRejectsOutOfBounds(t *testing.T) {
+	evs := []events.Event{{X: 240, Y: 0, T: 0, P: events.On}}
+	var buf bytes.Buffer
+	if err := Write(&buf, events.DAVIS240, evs); err == nil {
+		t.Error("out-of-bounds event should fail to encode")
+	}
+}
+
+func TestReadRejectsBadMagic(t *testing.T) {
+	if _, _, err := Read(bytes.NewReader(make([]byte, 64))); !errors.Is(err, ErrBadMagic) {
+		t.Errorf("want ErrBadMagic, got %v", err)
+	}
+}
+
+func TestReadTruncated(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Write(&buf, events.DAVIS240, sample()); err != nil {
+		t.Fatal(err)
+	}
+	trunc := buf.Bytes()[:buf.Len()-5]
+	if _, _, err := Read(bytes.NewReader(trunc)); err == nil {
+		t.Error("truncated stream should error")
+	}
+}
+
+func TestStreamingReaderWindows(t *testing.T) {
+	evs := []events.Event{
+		{X: 1, Y: 1, T: 10, P: events.On},
+		{X: 2, Y: 2, T: 60, P: events.On},
+		{X: 3, Y: 3, T: 120, P: events.Off},
+		{X: 4, Y: 4, T: 130, P: events.On},
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, events.DAVIS240, evs); err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w1, err := r.NextWindow(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(w1) != 2 {
+		t.Fatalf("window 1 has %d events, want 2", len(w1))
+	}
+	w2, err := r.NextWindow(200)
+	if !errors.Is(err, io.EOF) {
+		t.Fatalf("want EOF at stream end, got %v", err)
+	}
+	if len(w2) != 2 {
+		t.Fatalf("window 2 has %d events, want 2", len(w2))
+	}
+}
+
+func TestStreamingWriter(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "rec.aer")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := NewWriter(f, events.DAVIS240)
+	if err != nil {
+		t.Fatal(err)
+	}
+	evs := sample()
+	if err := w.Append(evs[:2]); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append(evs[2:]); err != nil {
+		t.Fatal(err)
+	}
+	if w.Count() != 4 {
+		t.Errorf("Count = %d", w.Count())
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	rf, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rf.Close()
+	res, got, err := Read(rf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res != events.DAVIS240 {
+		t.Errorf("resolution = %v", res)
+	}
+	if len(got) != 4 {
+		t.Fatalf("got %d events", len(got))
+	}
+	for i, e := range evs {
+		if got[i] != e {
+			t.Errorf("event %d = %v, want %v", i, got[i], e)
+		}
+	}
+}
+
+func TestStreamingWriterRejectsRegression(t *testing.T) {
+	dir := t.TempDir()
+	f, err := os.Create(filepath.Join(dir, "rec.aer"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	w, err := NewWriter(f, events.DAVIS240)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append([]events.Event{{T: 100, P: events.On}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append([]events.Event{{T: 50, P: events.On}}); !errors.Is(err, events.ErrUnsorted) {
+		t.Errorf("want ErrUnsorted, got %v", err)
+	}
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	// Arbitrary sorted in-bounds streams must round trip exactly.
+	prop := func(raw []uint32) bool {
+		evs := make([]events.Event, len(raw))
+		var tcur int64
+		for i, r := range raw {
+			tcur += int64(r % 100000)
+			p := events.On
+			if r%2 == 0 {
+				p = events.Off
+			}
+			evs[i] = events.Event{
+				X: int16(r % 240),
+				Y: int16((r / 240) % 180),
+				T: tcur,
+				P: p,
+			}
+		}
+		var buf bytes.Buffer
+		if err := Write(&buf, events.DAVIS240, evs); err != nil {
+			return false
+		}
+		_, got, err := Read(&buf)
+		if err != nil {
+			return false
+		}
+		if len(got) != len(evs) {
+			return false
+		}
+		for i := range evs {
+			if got[i] != evs[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFileSizeMatchesFormula(t *testing.T) {
+	var buf bytes.Buffer
+	evs := sample()
+	if err := Write(&buf, events.DAVIS240, evs); err != nil {
+		t.Fatal(err)
+	}
+	want := 20 + len(evs)*10 // header 8+2+2+8, 10 bytes per event
+	if buf.Len() != want {
+		t.Errorf("encoded size = %d, want %d", buf.Len(), want)
+	}
+}
+
+func BenchmarkWrite(b *testing.B) {
+	evs := make([]events.Event, 100000)
+	for i := range evs {
+		evs[i] = events.Event{X: int16(i % 240), Y: int16(i % 180), T: int64(i * 10), P: events.On}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var buf bytes.Buffer
+		if err := Write(&buf, events.DAVIS240, evs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRead(b *testing.B) {
+	evs := make([]events.Event, 100000)
+	for i := range evs {
+		evs[i] = events.Event{X: int16(i % 240), Y: int16(i % 180), T: int64(i * 10), P: events.On}
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, events.DAVIS240, evs); err != nil {
+		b.Fatal(err)
+	}
+	data := buf.Bytes()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := Read(bytes.NewReader(data)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

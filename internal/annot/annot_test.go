@@ -1,0 +1,137 @@
+package annot
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"ebbiot/internal/events"
+	"ebbiot/internal/geometry"
+	"ebbiot/internal/scene"
+)
+
+func sample() []Record {
+	return []Record{
+		{TUS: 66000, ID: 0, Kind: scene.KindCar, Box: geometry.NewBox(132, 84, 30, 17)},
+		{TUS: 66000, ID: 1, Kind: scene.KindBus, Box: geometry.NewBox(10, 44, 70, 30)},
+		{TUS: 132000, ID: 0, Kind: scene.KindCar, Box: geometry.NewBox(136, 84, 30, 17)},
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Write(&buf, sample()); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := sample()
+	if len(got) != len(want) {
+		t.Fatalf("got %d records", len(got))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("record %d = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestWriteRejectsInvalidKind(t *testing.T) {
+	var buf bytes.Buffer
+	err := Write(&buf, []Record{{Kind: scene.Kind(77)}})
+	if err == nil {
+		t.Error("invalid kind should fail to encode")
+	}
+}
+
+func TestReadErrors(t *testing.T) {
+	cases := []struct {
+		name, in string
+	}{
+		{"empty", ""},
+		{"bad header", "nope\n"},
+		{"short line", Header + "\n1,2,car\n"},
+		{"bad kind", Header + "\n1,2,plane,0,0,1,1\n"},
+		{"bad int", Header + "\n1,x,car,0,0,1,1\n"},
+		{"bad box", Header + "\n1,2,car,0,0,one,1\n"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if _, err := Read(strings.NewReader(c.in)); err == nil {
+				t.Errorf("input %q should fail", c.in)
+			}
+		})
+	}
+}
+
+func TestReadSkipsBlankLines(t *testing.T) {
+	in := Header + "\n\n66000,0,car,1,2,3,4\n\n"
+	got, err := Read(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 {
+		t.Errorf("got %d records, want 1", len(got))
+	}
+}
+
+func TestSortAndAtTime(t *testing.T) {
+	recs := []Record{
+		{TUS: 200, ID: 1},
+		{TUS: 100, ID: 2},
+		{TUS: 200, ID: 0},
+		{TUS: 100, ID: 1},
+	}
+	// Kinds must be valid only for Write; fill for realism.
+	for i := range recs {
+		recs[i].Kind = scene.KindCar
+	}
+	Sort(recs)
+	if recs[0].TUS != 100 || recs[0].ID != 1 || recs[3].ID != 1 {
+		t.Errorf("sort order wrong: %+v", recs)
+	}
+	at := AtTime(recs, 200)
+	if len(at) != 2 || at[0].ID != 0 {
+		t.Errorf("AtTime(200) = %+v", at)
+	}
+	if len(AtTime(recs, 150)) != 0 {
+		t.Error("AtTime between stamps should be empty")
+	}
+}
+
+func TestFromScene(t *testing.T) {
+	sc := scene.SingleObjectScene(events.DAVIS240, 2_000_000)
+	recs, err := FromScene(sc, 66_000, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) == 0 {
+		t.Fatal("no records sampled")
+	}
+	for i := 1; i < len(recs); i++ {
+		if recs[i].TUS < recs[i-1].TUS {
+			t.Fatal("records not sorted")
+		}
+	}
+	// Round trip the sampled annotations.
+	var buf bytes.Buffer
+	if err := Write(&buf, recs); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(recs) {
+		t.Errorf("round trip lost records: %d vs %d", len(back), len(recs))
+	}
+}
+
+func TestFromSceneValidation(t *testing.T) {
+	sc := scene.SingleObjectScene(events.DAVIS240, 1_000_000)
+	if _, err := FromScene(sc, 0, 4); err == nil {
+		t.Error("zero step should error")
+	}
+}

@@ -1,0 +1,262 @@
+package assign
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestGreedySimple(t *testing.T) {
+	cost := [][]float64{
+		{1, 5},
+		{2, 1},
+	}
+	got, err := Greedy(cost)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Greedy takes (0,0)=1 first, then (1,1)=1.
+	if got[0] != 0 || got[1] != 1 {
+		t.Errorf("greedy = %v", got)
+	}
+}
+
+func TestGreedySuboptimalCase(t *testing.T) {
+	// The classic trap: greedy grabs the global minimum and pays for it.
+	cost := [][]float64{
+		{1, 2},
+		{2, 100},
+	}
+	g, err := Greedy(cost)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gc, err := TotalCost(cost, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := Hungarian(cost)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hc, err := TotalCost(cost, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gc != 101 {
+		t.Errorf("greedy cost = %v, want 101", gc)
+	}
+	if hc != 4 {
+		t.Errorf("hungarian cost = %v, want 4 (assign anti-diagonal)", hc)
+	}
+}
+
+func TestHungarianKnown3x3(t *testing.T) {
+	cost := [][]float64{
+		{4, 1, 3},
+		{2, 0, 5},
+		{3, 2, 2},
+	}
+	got, err := Hungarian(cost)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := TotalCost(cost, got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c != 5 { // 1 + 2 + 2
+		t.Errorf("optimal cost = %v (assignment %v), want 5", c, got)
+	}
+}
+
+func TestHungarianRectangular(t *testing.T) {
+	// More rows than columns: one row stays unassigned.
+	cost := [][]float64{
+		{1},
+		{2},
+		{3},
+	}
+	got, err := Hungarian(cost)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assigned := 0
+	for r, c := range got {
+		if c == 0 {
+			assigned++
+			if r != 0 {
+				t.Errorf("cheapest row should win the only column, got row %d", r)
+			}
+		}
+	}
+	if assigned != 1 {
+		t.Errorf("%d rows assigned to 1 column", assigned)
+	}
+	// More columns than rows.
+	cost2 := [][]float64{{3, 1, 2}}
+	got2, err := Hungarian(cost2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got2[0] != 1 {
+		t.Errorf("row should take cheapest column 1, got %d", got2[0])
+	}
+}
+
+func TestForbiddenPairs(t *testing.T) {
+	cost := [][]float64{
+		{Inf, 1},
+		{1, Inf},
+	}
+	got, err := Hungarian(cost)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 1 || got[1] != 0 {
+		t.Errorf("assignment must avoid forbidden diagonal: %v", got)
+	}
+	allForbidden := [][]float64{{Inf}}
+	got2, err := Hungarian(allForbidden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got2[0] != -1 {
+		t.Errorf("fully forbidden row must stay unassigned, got %d", got2[0])
+	}
+}
+
+func TestEmptyAndRagged(t *testing.T) {
+	if got, err := Hungarian(nil); err != nil || len(got) != 0 {
+		t.Errorf("empty matrix: %v, %v", got, err)
+	}
+	if got, err := Greedy(nil); err != nil || len(got) != 0 {
+		t.Errorf("empty greedy: %v, %v", got, err)
+	}
+	ragged := [][]float64{{1, 2}, {3}}
+	if _, err := Hungarian(ragged); err == nil {
+		t.Error("ragged matrix should error")
+	}
+	if _, err := Greedy(ragged); err == nil {
+		t.Error("ragged matrix should error")
+	}
+}
+
+func TestTotalCostErrors(t *testing.T) {
+	cost := [][]float64{{Inf, 1}}
+	if _, err := TotalCost(cost, []int{0}); err == nil {
+		t.Error("forbidden assignment should error")
+	}
+	if _, err := TotalCost(cost, []int{5}); err == nil {
+		t.Error("out-of-range assignment should error")
+	}
+	if c, err := TotalCost(cost, []int{-1}); err != nil || c != 0 {
+		t.Errorf("unassigned row: %v, %v", c, err)
+	}
+}
+
+// bruteForceBest finds the optimal assignment cost by enumeration (n <= 4).
+func bruteForceBest(cost [][]float64) float64 {
+	n := len(cost)
+	cols := len(cost[0])
+	best := math.Inf(1)
+	perm := make([]int, 0, n)
+	used := make([]bool, cols)
+	var rec func(r int, sofar float64, assigned int)
+	rec = func(r int, sofar float64, assigned int) {
+		if r == n {
+			// Count only full assignments of min(n, cols) pairs.
+			if assigned == min(n, cols) && sofar < best {
+				best = sofar
+			}
+			return
+		}
+		// Skip this row.
+		rec(r+1, sofar, assigned)
+		for c := 0; c < cols; c++ {
+			if used[c] || math.IsInf(cost[r][c], 1) {
+				continue
+			}
+			used[c] = true
+			perm = append(perm, c)
+			rec(r+1, sofar+cost[r][c], assigned+1)
+			perm = perm[:len(perm)-1]
+			used[c] = false
+		}
+	}
+	rec(0, 0, 0)
+	return best
+}
+
+func TestHungarianMatchesBruteForceProperty(t *testing.T) {
+	prop := func(vals [16]uint8, rows8, cols8 uint8) bool {
+		rows := 1 + int(rows8%4)
+		cols := 1 + int(cols8%4)
+		cost := make([][]float64, rows)
+		k := 0
+		for r := 0; r < rows; r++ {
+			cost[r] = make([]float64, cols)
+			for c := 0; c < cols; c++ {
+				cost[r][c] = float64(vals[k%16] % 50)
+				k++
+			}
+		}
+		got, err := Hungarian(cost)
+		if err != nil {
+			return false
+		}
+		gc, err := TotalCost(cost, got)
+		if err != nil {
+			return false
+		}
+		// All-finite matrices must fully assign min(rows, cols) pairs.
+		assigned := 0
+		for _, c := range got {
+			if c >= 0 {
+				assigned++
+			}
+		}
+		if assigned != min(rows, cols) {
+			return false
+		}
+		want := bruteForceBest(cost)
+		return math.Abs(gc-want) < 1e-9
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGreedyNeverBeatsHungarianProperty(t *testing.T) {
+	prop := func(vals [9]uint8) bool {
+		cost := make([][]float64, 3)
+		k := 0
+		for r := 0; r < 3; r++ {
+			cost[r] = make([]float64, 3)
+			for c := 0; c < 3; c++ {
+				cost[r][c] = float64(vals[k] % 30)
+				k++
+			}
+		}
+		g, err := Greedy(cost)
+		if err != nil {
+			return false
+		}
+		h, err := Hungarian(cost)
+		if err != nil {
+			return false
+		}
+		gc, err := TotalCost(cost, g)
+		if err != nil {
+			return false
+		}
+		hc, err := TotalCost(cost, h)
+		if err != nil {
+			return false
+		}
+		return hc <= gc+1e-9
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}

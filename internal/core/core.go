@@ -1,0 +1,297 @@
+// Package core assembles the paper's three end-to-end tracking systems
+// behind a single frame-synchronous interface:
+//
+//   - EBBIOT (the paper's contribution): EBBI accumulation + binary median
+//     filter + histogram region proposal + overlap tracker;
+//   - EBBI+KF: the same front end with the Kalman-filter tracker;
+//   - EBMS: nearest-neighbour event filter + event-based mean shift.
+//
+// All three consume raw sensor events one frame window (tF) at a time and
+// report integer track boxes at each frame boundary, which is exactly how
+// the paper evaluates them (boxes sampled at fixed intervals, Section
+// III-B). EBMS processes events within the window event-by-event — its
+// per-event nature is preserved; only the reporting is frame-aligned.
+package core
+
+import (
+	"fmt"
+
+	"ebbiot/internal/ebbi"
+	"ebbiot/internal/ebms"
+	"ebbiot/internal/events"
+	"ebbiot/internal/filter"
+	"ebbiot/internal/geometry"
+	"ebbiot/internal/kalman"
+	"ebbiot/internal/roe"
+	"ebbiot/internal/rpn"
+	"ebbiot/internal/tracker"
+)
+
+// System is a frame-synchronous tracking pipeline.
+type System interface {
+	// Name identifies the pipeline in reports ("EBBIOT", "EBBI+KF",
+	// "EBMS").
+	Name() string
+	// ProcessWindow consumes one frame window of events (already sliced to
+	// [k*tF, (k+1)*tF)) and returns the tracks reported at the window end.
+	ProcessWindow(evs []events.Event) ([]geometry.Box, error)
+}
+
+// Config parameterises the EBBIOT pipeline.
+type Config struct {
+	EBBI    ebbi.Config
+	RPN     rpn.Config
+	Tracker tracker.Config
+}
+
+// DefaultConfig returns the paper's full parameter set.
+func DefaultConfig() Config {
+	return Config{
+		EBBI:    ebbi.DefaultConfig(),
+		RPN:     rpn.DefaultConfig(),
+		Tracker: tracker.DefaultConfig(),
+	}
+}
+
+// WithROE returns the config with the exclusion mask installed.
+func (c Config) WithROE(mask *roe.Mask) Config {
+	c.Tracker.ROE = mask
+	return c
+}
+
+// EBBIOT is the paper's pipeline.
+type EBBIOT struct {
+	builder  *ebbi.Builder
+	proposer *rpn.Proposer
+	tracker  *tracker.Tracker
+	// lastFrame retains the most recent filtered frame for visualisation.
+	lastFrame *ebbi.Frame
+	lastRPN   rpn.Result
+}
+
+var _ System = (*EBBIOT)(nil)
+
+// NewEBBIOT builds the pipeline.
+func NewEBBIOT(cfg Config) (*EBBIOT, error) {
+	b, err := ebbi.NewBuilder(cfg.EBBI)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	p, err := rpn.New(cfg.RPN)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	tr, err := tracker.New(cfg.Tracker)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	return &EBBIOT{builder: b, proposer: p, tracker: tr}, nil
+}
+
+// Name implements System.
+func (e *EBBIOT) Name() string { return "EBBIOT" }
+
+// ProcessWindow implements System: latch the window's events into the EBBI,
+// median-filter, propose regions and step the overlap tracker.
+func (e *EBBIOT) ProcessWindow(evs []events.Event) ([]geometry.Box, error) {
+	e.builder.Accumulate(evs)
+	frame, err := e.builder.Finish()
+	if err != nil {
+		return nil, fmt.Errorf("core: ebbi: %w", err)
+	}
+	// Exclusion zones are blanked in the image before region proposal:
+	// the histograms project over full rows/columns, so distractor pixels
+	// anywhere in a column would otherwise contaminate every proposal.
+	if mask := e.tracker.Config().ROE; mask != nil {
+		mask.MaskBitmap(frame.Filtered)
+	}
+	res, err := e.proposer.Propose(frame.Filtered)
+	if err != nil {
+		return nil, fmt.Errorf("core: rpn: %w", err)
+	}
+	e.lastFrame = &frame
+	e.lastRPN = res
+	reports := e.tracker.Step(res.Boxes())
+	out := make([]geometry.Box, len(reports))
+	for i, r := range reports {
+		out[i] = r.Box
+	}
+	return out, nil
+}
+
+// Tracker exposes the underlying overlap tracker for instrumentation.
+func (e *EBBIOT) Tracker() *tracker.Tracker { return e.tracker }
+
+// LastFrame returns the most recent EBBI frame (aliases internal buffers;
+// valid until the next ProcessWindow).
+func (e *EBBIOT) LastFrame() *ebbi.Frame { return e.lastFrame }
+
+// LastRPN returns the most recent region-proposal result.
+func (e *EBBIOT) LastRPN() rpn.Result { return e.lastRPN }
+
+// EBBIKF is the EBBI + Kalman-filter comparison pipeline.
+type EBBIKF struct {
+	builder  *ebbi.Builder
+	proposer *rpn.Proposer
+	tracker  *kalman.Tracker
+	mask     *roe.Mask
+	maxCover float64
+}
+
+var _ System = (*EBBIKF)(nil)
+
+// KFConfig parameterises the EBBI+KF pipeline.
+type KFConfig struct {
+	EBBI    ebbi.Config
+	RPN     rpn.Config
+	Tracker kalman.Config
+	// ROE applies the same exclusion zones the OT uses, for a fair
+	// comparison.
+	ROE         *roe.Mask
+	ROEMaxCover float64
+}
+
+// DefaultKFConfig returns the comparison configuration.
+func DefaultKFConfig() KFConfig {
+	return KFConfig{
+		EBBI:        ebbi.DefaultConfig(),
+		RPN:         rpn.DefaultConfig(),
+		Tracker:     kalman.DefaultConfig(),
+		ROEMaxCover: 0.5,
+	}
+}
+
+// NewEBBIKF builds the pipeline.
+func NewEBBIKF(cfg KFConfig) (*EBBIKF, error) {
+	b, err := ebbi.NewBuilder(cfg.EBBI)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	p, err := rpn.New(cfg.RPN)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	tr, err := kalman.New(cfg.Tracker)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	return &EBBIKF{builder: b, proposer: p, tracker: tr, mask: cfg.ROE, maxCover: cfg.ROEMaxCover}, nil
+}
+
+// Name implements System.
+func (e *EBBIKF) Name() string { return "EBBI+KF" }
+
+// ProcessWindow implements System.
+func (e *EBBIKF) ProcessWindow(evs []events.Event) ([]geometry.Box, error) {
+	e.builder.Accumulate(evs)
+	frame, err := e.builder.Finish()
+	if err != nil {
+		return nil, fmt.Errorf("core: ebbi: %w", err)
+	}
+	if e.mask != nil {
+		e.mask.MaskBitmap(frame.Filtered)
+	}
+	res, err := e.proposer.Propose(frame.Filtered)
+	if err != nil {
+		return nil, fmt.Errorf("core: rpn: %w", err)
+	}
+	boxes := res.Boxes()
+	if e.mask != nil {
+		boxes = e.mask.FilterBoxes(boxes, e.maxCover)
+	}
+	reports, err := e.tracker.Step(boxes)
+	if err != nil {
+		return nil, fmt.Errorf("core: kalman: %w", err)
+	}
+	out := make([]geometry.Box, len(reports))
+	for i, r := range reports {
+		out[i] = r.Box
+	}
+	return out, nil
+}
+
+// EBMSSystem is the fully event-based comparison pipeline: NN-filt + mean
+// shift.
+type EBMSSystem struct {
+	nn   *filter.NNFilter
+	ms   *ebms.Tracker
+	mask *roe.Mask
+	// maxCover mirrors the OT's ROE handling.
+	maxCover float64
+	// nfSum / frames measure the post-filter event rate (NF of Eq. 8).
+	nfSum  int64
+	frames int64
+}
+
+var _ System = (*EBMSSystem)(nil)
+
+// EBMSConfig parameterises the EBMS pipeline.
+type EBMSConfig struct {
+	Res events.Resolution
+	// NNP and NNSupportUS configure the nearest-neighbour filter.
+	NNP         int
+	NNSupportUS int64
+	Tracker     ebms.Config
+	ROE         *roe.Mask
+	ROEMaxCover float64
+}
+
+// DefaultEBMSConfig returns the comparison configuration.
+func DefaultEBMSConfig() EBMSConfig {
+	return EBMSConfig{
+		Res:         events.DAVIS240,
+		NNP:         3,
+		NNSupportUS: 20_000,
+		Tracker:     ebms.DefaultConfig(),
+		ROEMaxCover: 0.5,
+	}
+}
+
+// NewEBMS builds the pipeline.
+func NewEBMS(cfg EBMSConfig) (*EBMSSystem, error) {
+	nn, err := filter.NewNN(cfg.Res, cfg.NNP, cfg.NNSupportUS)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	ms, err := ebms.New(cfg.Tracker)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	return &EBMSSystem{nn: nn, ms: ms, mask: cfg.ROE, maxCover: cfg.ROEMaxCover}, nil
+}
+
+// Name implements System.
+func (e *EBMSSystem) Name() string { return "EBMS" }
+
+// ProcessWindow implements System: filter the window's events, feed them to
+// the mean-shift clusters one by one, then report visible clusters.
+func (e *EBMSSystem) ProcessWindow(evs []events.Event) ([]geometry.Box, error) {
+	if e.mask != nil {
+		evs = e.mask.FilterEvents(evs)
+	}
+	kept := e.nn.Filter(evs)
+	e.nfSum += int64(len(kept))
+	e.frames++
+	e.ms.Process(kept)
+	reports := e.ms.Reports()
+	out := make([]geometry.Box, 0, len(reports))
+	for _, r := range reports {
+		out = append(out, r.Box)
+	}
+	if e.mask != nil {
+		out = e.mask.FilterBoxes(out, e.maxCover)
+	}
+	return out, nil
+}
+
+// MeanNF returns the measured mean post-filter events per frame (the NF of
+// Eq. 8), for cross-checking the resource model.
+func (e *EBMSSystem) MeanNF() float64 {
+	if e.frames == 0 {
+		return 0
+	}
+	return float64(e.nfSum) / float64(e.frames)
+}
+
+// Clusters exposes the underlying mean-shift tracker.
+func (e *EBMSSystem) Clusters() *ebms.Tracker { return e.ms }

@@ -1,0 +1,200 @@
+package core
+
+import (
+	"testing"
+
+	"ebbiot/internal/events"
+	"ebbiot/internal/geometry"
+	"ebbiot/internal/scene"
+	"ebbiot/internal/sensor"
+)
+
+// runScene streams a scene through a system and returns the boxes of the
+// last frame plus a count of frames in which at least one box was reported.
+func runScene(t *testing.T, sys System, sc *scene.Scene, noiseHz float64, seed uint64) (last []geometry.Box, reported int) {
+	t.Helper()
+	cfg := sensor.DefaultConfig(seed)
+	cfg.NoiseRatePerPixelHz = noiseHz
+	sim, err := sensor.New(cfg, sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for cursor := int64(0); cursor+66_000 <= sc.DurationUS; cursor += 66_000 {
+		evs, err := sim.Events(cursor, cursor+66_000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		boxes, err := sys.ProcessWindow(evs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(boxes) > 0 {
+			reported++
+			last = boxes
+		}
+	}
+	return last, reported
+}
+
+func TestEBBIOTTracksSingleObject(t *testing.T) {
+	sys, err := NewEBBIOT(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := scene.SingleObjectScene(events.DAVIS240, 3_000_000)
+	last, reported := runScene(t, sys, sc, 1.0, 42)
+	if reported < 30 {
+		t.Fatalf("EBBIOT reported in only %d frames", reported)
+	}
+	gt := sc.GroundTruth(2_970_000, 4)
+	if len(gt) != 1 || len(last) != 1 {
+		t.Fatalf("gt=%d last=%d", len(gt), len(last))
+	}
+	if iou := last[0].IoU(gt[0].Box); iou < 0.4 {
+		t.Errorf("final IoU = %.2f (track %v vs gt %v)", iou, last[0], gt[0].Box)
+	}
+}
+
+func TestEBBIOTName(t *testing.T) {
+	sys, err := NewEBBIOT(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sys.Name() != "EBBIOT" {
+		t.Error("name wrong")
+	}
+}
+
+func TestEBBIOTExposesInternals(t *testing.T) {
+	sys, err := NewEBBIOT(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := scene.SingleObjectScene(events.DAVIS240, 1_000_000)
+	runScene(t, sys, sc, 0, 7)
+	if sys.LastFrame() == nil {
+		t.Error("LastFrame not retained")
+	}
+	if sys.Tracker() == nil {
+		t.Error("Tracker not exposed")
+	}
+	if len(sys.LastRPN().HX) == 0 {
+		t.Error("LastRPN not retained")
+	}
+}
+
+func TestEBBIKFTracksSingleObject(t *testing.T) {
+	sys, err := NewEBBIKF(DefaultKFConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sys.Name() != "EBBI+KF" {
+		t.Error("name wrong")
+	}
+	sc := scene.SingleObjectScene(events.DAVIS240, 3_000_000)
+	last, reported := runScene(t, sys, sc, 1.0, 43)
+	if reported < 30 {
+		t.Fatalf("EBBI+KF reported in only %d frames", reported)
+	}
+	gt := sc.GroundTruth(2_970_000, 4)
+	if len(last) != 1 {
+		t.Fatalf("last frame boxes = %d", len(last))
+	}
+	if iou := last[0].IoU(gt[0].Box); iou < 0.3 {
+		t.Errorf("final IoU = %.2f", iou)
+	}
+}
+
+func TestEBMSTracksSingleObject(t *testing.T) {
+	sys, err := NewEBMS(DefaultEBMSConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sys.Name() != "EBMS" {
+		t.Error("name wrong")
+	}
+	sc := scene.SingleObjectScene(events.DAVIS240, 3_000_000)
+	last, reported := runScene(t, sys, sc, 1.0, 44)
+	if reported < 20 {
+		t.Fatalf("EBMS reported in only %d frames", reported)
+	}
+	gt := sc.GroundTruth(2_970_000, 4)
+	if len(last) == 0 {
+		t.Fatal("no EBMS boxes in final frame")
+	}
+	// EBMS cluster extent is scatter-derived, so use center distance
+	// rather than IoU. Residual noise may sustain extra clusters, so score
+	// the best-matching box.
+	gx, gy := gt[0].Box.Center()
+	bestD2 := 1e18
+	for _, b := range last {
+		cx, cy := b.Center()
+		dx, dy := cx-gx, cy-gy
+		if d2 := dx*dx + dy*dy; d2 < bestD2 {
+			bestD2 = d2
+		}
+	}
+	if bestD2 > 30*30 {
+		t.Errorf("no EBMS cluster within 30 px of gt (%v,%v): %v", gx, gy, last)
+	}
+	if sys.MeanNF() <= 0 {
+		t.Error("MeanNF not measured")
+	}
+	if sys.Clusters() == nil {
+		t.Error("Clusters not exposed")
+	}
+}
+
+func TestEBBIOTTwoObjects(t *testing.T) {
+	sys, err := NewEBBIOT(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := &scene.Scene{
+		Res: events.DAVIS240, DurationUS: 3_000_000,
+		Objects: []scene.Object{
+			{ID: 0, Kind: scene.KindCar, W: 30, H: 16, LaneY: 40, X0: -30, VX: 60, EnterUS: 0, ExitUS: 3_000_000, Z: 1, EdgeDensity: 0.9, InteriorDensity: 0.2},
+			{ID: 1, Kind: scene.KindVan, W: 40, H: 22, LaneY: 110, X0: 240, VX: -55, EnterUS: 0, ExitUS: 3_000_000, Z: 2, EdgeDensity: 0.9, InteriorDensity: 0.12},
+		},
+	}
+	last, _ := runScene(t, sys, sc, 1.0, 45)
+	if len(last) != 2 {
+		t.Fatalf("want 2 tracks in final frame, got %d", len(last))
+	}
+}
+
+func TestConfigErrorsPropagate(t *testing.T) {
+	bad := DefaultConfig()
+	bad.RPN.S1 = 0
+	if _, err := NewEBBIOT(bad); err == nil {
+		t.Error("bad RPN config should fail")
+	}
+	bad2 := DefaultConfig()
+	bad2.Tracker.MaxTrackers = 0
+	if _, err := NewEBBIOT(bad2); err == nil {
+		t.Error("bad tracker config should fail")
+	}
+	badKF := DefaultKFConfig()
+	badKF.Tracker.GateDistance = -1
+	if _, err := NewEBBIKF(badKF); err == nil {
+		t.Error("bad KF config should fail")
+	}
+	badMS := DefaultEBMSConfig()
+	badMS.NNP = 2
+	if _, err := NewEBMS(badMS); err == nil {
+		t.Error("bad NN config should fail")
+	}
+}
+
+func TestWithROE(t *testing.T) {
+	cfg := DefaultConfig()
+	if cfg.Tracker.ROE != nil {
+		t.Fatal("default should have no ROE")
+	}
+	// A nil-safe smoke test of the builder path with an ROE installed.
+	sys, err := NewEBBIOT(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = sys
+}

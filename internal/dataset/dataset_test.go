@@ -1,0 +1,170 @@
+package dataset
+
+import (
+	"math"
+	"testing"
+)
+
+func TestPresetString(t *testing.T) {
+	if ENG.String() != "ENG" || LT4.String() != "LT4" {
+		t.Error("preset names wrong")
+	}
+	if Preset(9).String() != "Preset(9)" {
+		t.Error("unknown preset formatting wrong")
+	}
+}
+
+func TestForValidation(t *testing.T) {
+	if _, err := For(ENG, 0, 1); err == nil {
+		t.Error("zero scale should error")
+	}
+	if _, err := For(ENG, 1.5, 1); err == nil {
+		t.Error("scale > 1 should error")
+	}
+	if _, err := For(Preset(42), 0.5, 1); err == nil {
+		t.Error("unknown preset should error")
+	}
+}
+
+func TestSpecsMatchTableI(t *testing.T) {
+	eng, err := For(ENG, 1.0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eng.LensMM != 12 || eng.TargetEvents != 107_500_000 {
+		t.Errorf("ENG header wrong: %+v", eng)
+	}
+	if math.Abs(float64(eng.DurationUS)/1e6-2998.4) > 0.01 {
+		t.Errorf("ENG duration = %v s", float64(eng.DurationUS)/1e6)
+	}
+	lt4, err := For(LT4, 1.0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lt4.LensMM != 6 || lt4.TargetEvents != 12_500_000 {
+		t.Errorf("LT4 header wrong: %+v", lt4)
+	}
+	if math.Abs(float64(lt4.DurationUS)/1e6-999.5) > 0.01 {
+		t.Errorf("LT4 duration = %v s", float64(lt4.DurationUS)/1e6)
+	}
+	// LT4 uses the wide lens: half-scale objects.
+	if lt4.Traffic.LensScale != 0.5 || eng.Traffic.LensScale != 1.0 {
+		t.Error("lens scales wrong")
+	}
+}
+
+func TestScaleShrinksDurationOnly(t *testing.T) {
+	full, err := For(ENG, 1.0, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	small, err := For(ENG, 0.01, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if small.DurationUS >= full.DurationUS {
+		t.Error("scale did not shrink duration")
+	}
+	if small.Sensor.NoiseRatePerPixelHz != full.Sensor.NoiseRatePerPixelHz {
+		t.Error("noise rate must be scale invariant")
+	}
+	if small.Traffic.Lanes[0].ArrivalRateHz != full.Traffic.Lanes[0].ArrivalRateHz {
+		t.Error("arrival rate must be scale invariant")
+	}
+}
+
+func TestGenerateAndMeasureENGRates(t *testing.T) {
+	// A 10-second ENG replica must land in the right event-rate ballpark:
+	// Table I implies ~35.9 k events/s.
+	spec, err := For(ENG, 10.0/2998.4, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, err := Generate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	row, err := MeasureTableRow(rec, 66_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rate := float64(row.Events) / row.DurationS
+	paperRate := 107_500_000 / 2998.4
+	if rate < paperRate*0.5 || rate > paperRate*1.6 {
+		t.Errorf("ENG event rate = %.0f /s, paper implies %.0f /s", rate, paperRate)
+	}
+	if row.Location != "ENG" || row.LensMM != 12 {
+		t.Errorf("row header: %+v", row)
+	}
+	if row.PaperEvents <= 0 || math.Abs(float64(row.PaperEvents)-107_500_000*10/2998.4) > 2000 {
+		t.Errorf("scaled paper target = %d", row.PaperEvents)
+	}
+}
+
+func TestGenerateAndMeasureLT4Rates(t *testing.T) {
+	spec, err := For(LT4, 10.0/999.5, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, err := Generate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	row, err := MeasureTableRow(rec, 66_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rate := float64(row.Events) / row.DurationS
+	paperRate := 12_500_000 / 999.5
+	if rate < paperRate*0.5 || rate > paperRate*1.8 {
+		t.Errorf("LT4 event rate = %.0f /s, paper implies %.0f /s", rate, paperRate)
+	}
+}
+
+func TestMeasureTableRowValidation(t *testing.T) {
+	spec, err := For(LT4, 0.001, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, err := Generate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := MeasureTableRow(rec, 0); err == nil {
+		t.Error("zero frame duration should error")
+	}
+}
+
+func TestTreeROEMatchesDistractor(t *testing.T) {
+	spec, err := For(ENG, 0.01, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(spec.Traffic.Distractors) != 1 {
+		t.Fatal("ENG should have one distractor")
+	}
+	if spec.Traffic.Distractors[0].Box != TreeROEENG() {
+		t.Error("ROE does not match the distractor zone")
+	}
+}
+
+func TestDeterministicGeneration(t *testing.T) {
+	mk := func() int64 {
+		spec, err := For(LT4, 0.005, 9)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rec, err := Generate(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		row, err := MeasureTableRow(rec, 66_000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return row.Events
+	}
+	if a, b := mk(), mk(); a != b {
+		t.Errorf("same seed produced different event counts: %d vs %d", a, b)
+	}
+}

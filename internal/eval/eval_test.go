@@ -1,0 +1,155 @@
+package eval
+
+import (
+	"testing"
+
+	"ebbiot/internal/core"
+	"ebbiot/internal/dataset"
+	"ebbiot/internal/events"
+	"ebbiot/internal/metrics"
+	"ebbiot/internal/roe"
+	"ebbiot/internal/scene"
+	"ebbiot/internal/sensor"
+)
+
+func TestRunProducesSamples(t *testing.T) {
+	sc := scene.SingleObjectScene(events.DAVIS240, 2_000_000)
+	cfg := sensor.DefaultConfig(1)
+	sim, err := sensor.New(cfg, sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := core.NewEBBIOT(core.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := DefaultOptions()
+	samples, err := Run(sys, sc, sim, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantFrames := int(2_000_000/opt.FrameUS) - opt.WarmupFrames
+	if len(samples) != wantFrames {
+		t.Errorf("samples = %d, want %d", len(samples), wantFrames)
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	sc := scene.SingleObjectScene(events.DAVIS240, 1_000_000)
+	sim, err := sensor.New(sensor.DefaultConfig(1), sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := core.NewEBBIOT(core.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := DefaultOptions()
+	opt.FrameUS = 0
+	if _, err := Run(sys, sc, sim, opt); err == nil {
+		t.Error("zero frame duration should error")
+	}
+}
+
+func TestEBBIOTScoresWellOnCleanScene(t *testing.T) {
+	sc := scene.SingleObjectScene(events.DAVIS240, 4_000_000)
+	cfg := sensor.DefaultConfig(5)
+	cfg.NoiseRatePerPixelHz = 0.5
+	sim, err := sensor.New(cfg, sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := core.NewEBBIOT(core.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	samples, err := Run(sys, sc, sim, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := metrics.Evaluate(samples, 0.3)
+	if c.Precision() < 0.8 {
+		t.Errorf("precision@0.3 = %.2f, want >= 0.8", c.Precision())
+	}
+	if c.Recall() < 0.8 {
+		t.Errorf("recall@0.3 = %.2f, want >= 0.8", c.Recall())
+	}
+}
+
+func TestCompareSystemsShape(t *testing.T) {
+	// The Fig. 4 headline shape on a small replica: EBBIOT's F1 at the
+	// central 0.5 threshold must beat both baselines.
+	if testing.Short() {
+		t.Skip("multi-system comparison is slow")
+	}
+	mask := roe.New(dataset.TreeROEENG())
+	factories := map[string]SystemFactory{
+		"EBBIOT": func() (core.System, error) {
+			return core.NewEBBIOT(core.DefaultConfig().WithROE(mask))
+		},
+		"EBBI+KF": func() (core.System, error) {
+			cfg := core.DefaultKFConfig()
+			cfg.ROE = mask
+			return core.NewEBBIKF(cfg)
+		},
+		"EBMS": func() (core.System, error) {
+			cfg := core.DefaultEBMSConfig()
+			cfg.ROE = mask
+			return core.NewEBMS(cfg)
+		},
+	}
+	recs := []RecordingSpec{
+		{Name: "ENG", Preset: dataset.ENG, Scale: 25.0 / 2998.4, Seed: 11},
+		{Name: "LT4", Preset: dataset.LT4, Scale: 25.0 / 999.5, Seed: 13},
+	}
+	results, err := CompareSystems(factories, recs, metrics.DefaultThresholds(), DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 3 {
+		t.Fatalf("got %d results", len(results))
+	}
+	f1At := func(r CompareResult, th float64) float64 {
+		for _, p := range r.Points {
+			if p.IoUThreshold == th {
+				if p.Precision+p.Recall == 0 {
+					return 0
+				}
+				return 2 * p.Precision * p.Recall / (p.Precision + p.Recall)
+			}
+		}
+		t.Fatalf("threshold %v missing from %s", th, r.System)
+		return 0
+	}
+	byName := map[string]CompareResult{}
+	for _, r := range results {
+		byName[r.System] = r
+	}
+	ebbiot := f1At(byName["EBBIOT"], 0.5)
+	kf := f1At(byName["EBBI+KF"], 0.5)
+	ms := f1At(byName["EBMS"], 0.5)
+	t.Logf("F1@0.5: EBBIOT=%.3f EBBI+KF=%.3f EBMS=%.3f", ebbiot, kf, ms)
+	if ebbiot < ms {
+		t.Errorf("EBBIOT F1 (%.3f) should beat EBMS (%.3f)", ebbiot, ms)
+	}
+	if ebbiot < kf-0.02 {
+		t.Errorf("EBBIOT F1 (%.3f) should be at least on par with KF (%.3f)", ebbiot, kf)
+	}
+	// Per-recording results must be present with positive weights.
+	for _, r := range results {
+		if len(r.PerRecording) != 2 {
+			t.Errorf("%s has %d per-recording entries", r.System, len(r.PerRecording))
+		}
+		for _, pr := range r.PerRecording {
+			if pr.TrackWeight <= 0 {
+				t.Errorf("%s/%s has zero track weight", r.System, pr.Name)
+			}
+		}
+	}
+}
+
+func TestCompareSystemsValidation(t *testing.T) {
+	if _, err := CompareSystems(nil, nil, nil, DefaultOptions()); err == nil {
+		t.Error("empty comparison should error")
+	}
+}

@@ -1,0 +1,140 @@
+package imgproc
+
+import "fmt"
+
+// CountImage is a small-integer image holding per-block event-pixel counts,
+// the scaled image I_{s1,s2} of Eq. 3. Values are at most s1*s2, so the
+// paper budgets ceil(log2(s1*s2)) bits per entry (Eq. 5); we store uint16
+// which covers every practical block size.
+type CountImage struct {
+	W, H int
+	Pix  []uint16
+}
+
+// NewCountImage returns a cleared count image.
+func NewCountImage(w, h int) *CountImage {
+	return &CountImage{W: w, H: h, Pix: make([]uint16, w*h)}
+}
+
+// Get returns the count at (x, y); out-of-range reads return 0.
+func (c *CountImage) Get(x, y int) uint16 {
+	if x < 0 || x >= c.W || y < 0 || y >= c.H {
+		return 0
+	}
+	return c.Pix[y*c.W+x]
+}
+
+// Sum returns the total of all block counts.
+func (c *CountImage) Sum() int {
+	s := 0
+	for _, v := range c.Pix {
+		s += int(v)
+	}
+	return s
+}
+
+// Downsample computes the block-sum scaled image of Eq. 3:
+//
+//	I_{s1,s2}(i, j) = sum over the s1 x s2 block of I
+//
+// with i < floor(A/s1), j < floor(B/s2). Pixels in the partial blocks at the
+// right/top edges (when A or B is not a multiple of the scale) are discarded
+// exactly as the floor in the paper's index bounds implies.
+func Downsample(src *Bitmap, s1, s2 int) (*CountImage, error) {
+	if s1 <= 0 || s2 <= 0 {
+		return nil, fmt.Errorf("imgproc: scale factors must be positive, got s1=%d s2=%d", s1, s2)
+	}
+	w := src.W / s1
+	h := src.H / s2
+	out := NewCountImage(w, h)
+	for j := 0; j < h; j++ {
+		for i := 0; i < w; i++ {
+			var sum uint16
+			for n := 0; n < s2; n++ {
+				row := (j*s2 + n) * src.W
+				for m := 0; m < s1; m++ {
+					if src.Pix[row+i*s1+m] != 0 {
+						sum++
+					}
+				}
+			}
+			out.Pix[j*w+i] = sum
+		}
+	}
+	return out, nil
+}
+
+// Histograms computes the X and Y projections of Eq. 4 from a scaled image:
+//
+//	HX(i) = sum_j I_{s1,s2}(i, j)    HY(j) = sum_i I_{s1,s2}(i, j)
+//
+// HX has one entry per downsampled column, HY one per downsampled row.
+func Histograms(img *CountImage) (hx, hy []int) {
+	hx = make([]int, img.W)
+	hy = make([]int, img.H)
+	for j := 0; j < img.H; j++ {
+		row := j * img.W
+		for i := 0; i < img.W; i++ {
+			v := int(img.Pix[row+i])
+			hx[i] += v
+			hy[j] += v
+		}
+	}
+	return hx, hy
+}
+
+// Run is a maximal contiguous interval [Start, End) of histogram bins whose
+// values exceed a threshold — the 1-D "region" of Section II-B.
+type Run struct {
+	Start, End int
+}
+
+// Len returns the number of bins in the run.
+func (r Run) Len() int { return r.End - r.Start }
+
+// FindRuns scans a histogram and returns the maximal runs of consecutive
+// entries strictly greater than thresh. The paper uses thresh = 1 on the
+// downsampled histograms, accepting coarse regions that the tracker then
+// smooths.
+func FindRuns(h []int, thresh int) []Run {
+	var runs []Run
+	start := -1
+	for i, v := range h {
+		if v > thresh {
+			if start < 0 {
+				start = i
+			}
+			continue
+		}
+		if start >= 0 {
+			runs = append(runs, Run{Start: start, End: i})
+			start = -1
+		}
+	}
+	if start >= 0 {
+		runs = append(runs, Run{Start: start, End: len(h)})
+	}
+	return runs
+}
+
+// MergeRuns coalesces runs separated by a gap of at most maxGap bins. This
+// counters object fragmentation: a vehicle with a low-texture flank can
+// split into two histogram peaks with a small valley between them (Fig. 3),
+// which merge back into a single proposal at the histogram level.
+func MergeRuns(runs []Run, maxGap int) []Run {
+	if len(runs) == 0 {
+		return nil
+	}
+	out := make([]Run, 0, len(runs))
+	cur := runs[0]
+	for _, r := range runs[1:] {
+		if r.Start-cur.End <= maxGap {
+			cur.End = r.End
+			continue
+		}
+		out = append(out, cur)
+		cur = r
+	}
+	out = append(out, cur)
+	return out
+}

@@ -1,0 +1,241 @@
+package imgproc
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestDownsampleBasic(t *testing.T) {
+	// 6x4 image, s1=3, s2=2 -> 2x2 count image.
+	src, err := FromString(`
+		##....
+		#..#..
+		......
+		...###
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	img, err := Downsample(src, 3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if img.W != 2 || img.H != 2 {
+		t.Fatalf("downsampled size %dx%d, want 2x2", img.W, img.H)
+	}
+	// Remember: row 0 is the bottom. Bottom-left block covers x 0-2, y 0-1:
+	// empty. Bottom-right block covers x 3-5, y 0-1: three pixels.
+	if got := img.Get(0, 0); got != 0 {
+		t.Errorf("block (0,0) = %d, want 0", got)
+	}
+	if got := img.Get(1, 0); got != 3 {
+		t.Errorf("block (1,0) = %d, want 3", got)
+	}
+	if got := img.Get(0, 1); got != 3 {
+		t.Errorf("block (0,1) = %d, want 3", got)
+	}
+	if got := img.Get(1, 1); got != 1 {
+		t.Errorf("block (1,1) = %d, want 1", got)
+	}
+}
+
+func TestDownsamplePartialBlocksDiscarded(t *testing.T) {
+	// 7x5 with s1=3, s2=2 -> floor sizes 2x2; the rightmost column and top
+	// row of pixels fall outside any block.
+	src := NewBitmap(7, 5)
+	src.Set(6, 0) // only in partial column
+	src.Set(0, 4) // only in partial row
+	img, err := Downsample(src, 3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if img.W != 2 || img.H != 2 {
+		t.Fatalf("size %dx%d, want 2x2", img.W, img.H)
+	}
+	if img.Sum() != 0 {
+		t.Errorf("partial-block pixels leaked into blocks: sum=%d", img.Sum())
+	}
+}
+
+func TestDownsampleErrors(t *testing.T) {
+	b := NewBitmap(6, 6)
+	if _, err := Downsample(b, 0, 1); err == nil {
+		t.Error("zero scale should error")
+	}
+	if _, err := Downsample(b, 1, -2); err == nil {
+		t.Error("negative scale should error")
+	}
+}
+
+func TestDownsampleSumPreserved(t *testing.T) {
+	// When the scales divide the image exactly, the block sums account for
+	// every set pixel.
+	prop := func(seed []byte) bool {
+		src := NewBitmap(24, 18) // divisible by s1=6, s2=3 like the paper
+		ones := 0
+		for i, v := range seed {
+			if i >= len(src.Pix) {
+				break
+			}
+			if v%2 == 0 {
+				src.Pix[i] = 1
+				ones++
+			}
+		}
+		img, err := Downsample(src, 6, 3)
+		if err != nil {
+			return false
+		}
+		return img.Sum() == ones
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHistograms(t *testing.T) {
+	img := NewCountImage(3, 2)
+	// Layout (row-major, row 0 bottom): row0 = [1 0 2], row1 = [0 3 1]
+	img.Pix = []uint16{1, 0, 2, 0, 3, 1}
+	hx, hy := Histograms(img)
+	wantX := []int{1, 3, 3}
+	wantY := []int{3, 4}
+	for i, w := range wantX {
+		if hx[i] != w {
+			t.Errorf("HX[%d] = %d, want %d", i, hx[i], w)
+		}
+	}
+	for j, w := range wantY {
+		if hy[j] != w {
+			t.Errorf("HY[%d] = %d, want %d", j, hy[j], w)
+		}
+	}
+}
+
+func TestHistogramSumsEqualProperty(t *testing.T) {
+	// Sum(HX) == Sum(HY) == total count, for any image.
+	prop := func(seed []byte) bool {
+		img := NewCountImage(8, 5)
+		for i, v := range seed {
+			if i >= len(img.Pix) {
+				break
+			}
+			img.Pix[i] = uint16(v % 19)
+		}
+		hx, hy := Histograms(img)
+		sx, sy := 0, 0
+		for _, v := range hx {
+			sx += v
+		}
+		for _, v := range hy {
+			sy += v
+		}
+		return sx == img.Sum() && sy == img.Sum()
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFindRuns(t *testing.T) {
+	tests := []struct {
+		name   string
+		h      []int
+		thresh int
+		want   []Run
+	}{
+		{"empty", nil, 1, nil},
+		{"all below", []int{0, 1, 1, 0}, 1, nil},
+		{"single run", []int{0, 2, 3, 2, 0}, 1, []Run{{1, 4}}},
+		{"run to end", []int{0, 0, 5, 5}, 1, []Run{{2, 4}}},
+		{"run from start", []int{5, 5, 0, 0}, 1, []Run{{0, 2}}},
+		{"two runs", []int{3, 0, 0, 4, 4, 0}, 1, []Run{{0, 1}, {3, 5}}},
+		{"threshold strict", []int{2, 2, 2}, 2, nil},
+		{"whole array", []int{9, 9, 9}, 0, []Run{{0, 3}}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got := FindRuns(tt.h, tt.thresh)
+			if len(got) != len(tt.want) {
+				t.Fatalf("got %v, want %v", got, tt.want)
+			}
+			for i := range got {
+				if got[i] != tt.want[i] {
+					t.Errorf("run %d = %v, want %v", i, got[i], tt.want[i])
+				}
+			}
+		})
+	}
+}
+
+func TestMergeRuns(t *testing.T) {
+	tests := []struct {
+		name   string
+		runs   []Run
+		maxGap int
+		want   []Run
+	}{
+		{"empty", nil, 1, nil},
+		{"single", []Run{{0, 3}}, 1, []Run{{0, 3}}},
+		{"merge small gap", []Run{{0, 3}, {4, 6}}, 1, []Run{{0, 6}}},
+		{"keep big gap", []Run{{0, 3}, {6, 8}}, 1, []Run{{0, 3}, {6, 8}}},
+		{"chain merge", []Run{{0, 2}, {3, 5}, {6, 8}}, 1, []Run{{0, 8}}},
+		{"zero gap merges adjacent", []Run{{0, 2}, {2, 4}}, 0, []Run{{0, 4}}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got := MergeRuns(tt.runs, tt.maxGap)
+			if len(got) != len(tt.want) {
+				t.Fatalf("got %v, want %v", got, tt.want)
+			}
+			for i := range got {
+				if got[i] != tt.want[i] {
+					t.Errorf("run %d = %v, want %v", i, got[i], tt.want[i])
+				}
+			}
+		})
+	}
+}
+
+func TestRunLen(t *testing.T) {
+	if (Run{2, 7}).Len() != 5 {
+		t.Error("Run.Len wrong")
+	}
+}
+
+func TestFindRunsCoverProperty(t *testing.T) {
+	// Every bin above threshold is covered by exactly one run, and no run
+	// contains a bin at or below threshold at its boundary bins' exterior.
+	prop := func(seed []byte, thresh8 uint8) bool {
+		h := make([]int, len(seed))
+		for i, v := range seed {
+			h[i] = int(v % 5)
+		}
+		thresh := int(thresh8 % 4)
+		runs := FindRuns(h, thresh)
+		covered := make([]bool, len(h))
+		for _, r := range runs {
+			if r.Start >= r.End {
+				return false
+			}
+			for i := r.Start; i < r.End; i++ {
+				if covered[i] {
+					return false // runs overlap
+				}
+				covered[i] = true
+				if h[i] <= thresh {
+					return false // run contains below-threshold bin
+				}
+			}
+		}
+		for i, v := range h {
+			if v > thresh && !covered[i] {
+				return false // above-threshold bin missed
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,450 @@
+// Package kalman implements the Kalman-filter tracking baseline of Section
+// II-C: a constant-velocity motion model per track, with region-proposal
+// centroids as measurements (state centroid (x, y), following Lin et al.,
+// the paper's reference [14]).
+//
+// Data association is greedy nearest-centroid with a gating distance, and
+// track lifecycle (confirmation, misses, seeding) mirrors the overlap
+// tracker so the comparison isolates the filtering algorithm itself. Box
+// extents are carried alongside the filter state (smoothed exponentially),
+// since the KF state proper contains only centroid kinematics.
+package kalman
+
+import (
+	"fmt"
+	"math"
+
+	"ebbiot/internal/assign"
+	"ebbiot/internal/geometry"
+	"ebbiot/internal/matrix"
+)
+
+// Association selects the data-association strategy.
+type Association int
+
+// Association strategies.
+const (
+	// AssociateGreedy is nearest-first greedy matching — what an embedded
+	// implementation ships, and the default.
+	AssociateGreedy Association = iota + 1
+	// AssociateOptimal solves the assignment exactly (Hungarian); used to
+	// measure how much greedy association costs.
+	AssociateOptimal
+)
+
+// Filter is one track's Kalman state: x = [cx, cy, vx, vy]^T with the
+// constant-velocity transition
+//
+//	F = | 1 0 1 0 |      H = | 1 0 0 0 |
+//	    | 0 1 0 1 |          | 0 1 0 0 |
+//	    | 0 0 1 0 |
+//	    | 0 0 0 1 |
+//
+// (time unit = one frame).
+type Filter struct {
+	// X is the 4x1 state vector.
+	X *matrix.Mat
+	// P is the 4x4 state covariance.
+	P *matrix.Mat
+	// q and r are process and measurement noise intensities.
+	q, r float64
+}
+
+// NewFilter returns a filter initialised at the measured centroid with zero
+// velocity and large velocity uncertainty.
+func NewFilter(cx, cy, processNoise, measNoise float64) *Filter {
+	x := matrix.New(4, 1)
+	x.Set(0, 0, cx)
+	x.Set(1, 0, cy)
+	p := matrix.New(4, 4)
+	p.Set(0, 0, measNoise)
+	p.Set(1, 1, measNoise)
+	p.Set(2, 2, 100) // velocity unknown at birth
+	p.Set(3, 3, 100)
+	return &Filter{X: x, P: p, q: processNoise, r: measNoise}
+}
+
+func transition() *matrix.Mat {
+	f := matrix.Identity(4)
+	f.Set(0, 2, 1)
+	f.Set(1, 3, 1)
+	return f
+}
+
+func measurement() *matrix.Mat {
+	h := matrix.New(2, 4)
+	h.Set(0, 0, 1)
+	h.Set(1, 1, 1)
+	return h
+}
+
+// processNoiseMat returns Q for a piecewise-constant white acceleration
+// model with dt = 1 frame.
+func processNoiseMat(q float64) *matrix.Mat {
+	m := matrix.New(4, 4)
+	// [dt^4/4, dt^3/2; dt^3/2, dt^2] blocks per axis with dt = 1.
+	m.Set(0, 0, q/4)
+	m.Set(0, 2, q/2)
+	m.Set(2, 0, q/2)
+	m.Set(2, 2, q)
+	m.Set(1, 1, q/4)
+	m.Set(1, 3, q/2)
+	m.Set(3, 1, q/2)
+	m.Set(3, 3, q)
+	return m
+}
+
+// Predict advances the state one frame: x = Fx, P = FPF^T + Q.
+func (f *Filter) Predict() error {
+	ft := transition()
+	x, err := ft.Mul(f.X)
+	if err != nil {
+		return fmt.Errorf("kalman: predict state: %w", err)
+	}
+	fp, err := ft.Mul(f.P)
+	if err != nil {
+		return fmt.Errorf("kalman: predict covariance: %w", err)
+	}
+	fpft, err := fp.Mul(ft.T())
+	if err != nil {
+		return fmt.Errorf("kalman: predict covariance: %w", err)
+	}
+	p, err := fpft.Add(processNoiseMat(f.q))
+	if err != nil {
+		return fmt.Errorf("kalman: predict covariance: %w", err)
+	}
+	f.X = x
+	f.P, err = p.Symmetrize()
+	if err != nil {
+		return fmt.Errorf("kalman: predict covariance: %w", err)
+	}
+	return nil
+}
+
+// Update folds in a centroid measurement (mx, my) with the standard KF
+// equations: K = PH^T (HPH^T + R)^-1; x += K(z - Hx); P = (I - KH)P.
+func (f *Filter) Update(mx, my float64) error {
+	h := measurement()
+	z := matrix.New(2, 1)
+	z.Set(0, 0, mx)
+	z.Set(1, 0, my)
+
+	hx, err := h.Mul(f.X)
+	if err != nil {
+		return fmt.Errorf("kalman: innovation: %w", err)
+	}
+	innov, err := z.Sub(hx)
+	if err != nil {
+		return fmt.Errorf("kalman: innovation: %w", err)
+	}
+	ph, err := f.P.Mul(h.T())
+	if err != nil {
+		return fmt.Errorf("kalman: gain: %w", err)
+	}
+	hph, err := h.Mul(ph)
+	if err != nil {
+		return fmt.Errorf("kalman: gain: %w", err)
+	}
+	r := matrix.Identity(2).Scale(f.r)
+	s, err := hph.Add(r)
+	if err != nil {
+		return fmt.Errorf("kalman: gain: %w", err)
+	}
+	sInv, err := s.Inverse()
+	if err != nil {
+		return fmt.Errorf("kalman: gain: %w", err)
+	}
+	k, err := ph.Mul(sInv)
+	if err != nil {
+		return fmt.Errorf("kalman: gain: %w", err)
+	}
+	dx, err := k.Mul(innov)
+	if err != nil {
+		return fmt.Errorf("kalman: update state: %w", err)
+	}
+	f.X, err = f.X.Add(dx)
+	if err != nil {
+		return fmt.Errorf("kalman: update state: %w", err)
+	}
+	kh, err := k.Mul(h)
+	if err != nil {
+		return fmt.Errorf("kalman: update covariance: %w", err)
+	}
+	ikh, err := matrix.Identity(4).Sub(kh)
+	if err != nil {
+		return fmt.Errorf("kalman: update covariance: %w", err)
+	}
+	p, err := ikh.Mul(f.P)
+	if err != nil {
+		return fmt.Errorf("kalman: update covariance: %w", err)
+	}
+	f.P, err = p.Symmetrize()
+	if err != nil {
+		return fmt.Errorf("kalman: update covariance: %w", err)
+	}
+	return nil
+}
+
+// Centroid returns the current (cx, cy) estimate.
+func (f *Filter) Centroid() (cx, cy float64) { return f.X.At(0, 0), f.X.At(1, 0) }
+
+// Velocity returns the current (vx, vy) estimate in px/frame.
+func (f *Filter) Velocity() (vx, vy float64) { return f.X.At(2, 0), f.X.At(3, 0) }
+
+// Config parameterises the multi-track KF tracker.
+type Config struct {
+	// MaxTracks mirrors the OT pool size NT.
+	MaxTracks int
+	// GateDistance is the maximum centroid distance (pixels) for
+	// associating a proposal with a track.
+	GateDistance float64
+	// ProcessNoise and MeasurementNoise are the KF intensities.
+	ProcessNoise, MeasurementNoise float64
+	// SizeBlend smooths the carried box extents toward each associated
+	// proposal.
+	SizeBlend float64
+	// MinHits confirms a track; MaxMisses frees it.
+	MinHits, MaxMisses int
+	// Bounds is the sensor array.
+	Bounds geometry.Box
+	// Association selects greedy (default when zero) or optimal matching.
+	Association Association
+}
+
+// DefaultConfig returns parameters matched to the OT defaults.
+func DefaultConfig() Config {
+	return Config{
+		MaxTracks:        8,
+		GateDistance:     40,
+		ProcessNoise:     1.0,
+		MeasurementNoise: 4.0,
+		SizeBlend:        0.3,
+		MinHits:          2,
+		MaxMisses:        3,
+		Bounds:           geometry.NewBox(0, 0, 240, 180),
+	}
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.MaxTracks <= 0 {
+		return fmt.Errorf("kalman: MaxTracks must be positive, got %d", c.MaxTracks)
+	}
+	if c.GateDistance <= 0 {
+		return fmt.Errorf("kalman: GateDistance must be positive, got %v", c.GateDistance)
+	}
+	if c.ProcessNoise <= 0 || c.MeasurementNoise <= 0 {
+		return fmt.Errorf("kalman: noise intensities must be positive")
+	}
+	if c.SizeBlend < 0 || c.SizeBlend > 1 {
+		return fmt.Errorf("kalman: SizeBlend must be in [0,1], got %v", c.SizeBlend)
+	}
+	if c.MaxMisses < 1 {
+		return fmt.Errorf("kalman: MaxMisses must be >= 1, got %d", c.MaxMisses)
+	}
+	if c.Bounds.Empty() {
+		return fmt.Errorf("kalman: empty bounds")
+	}
+	return nil
+}
+
+type track struct {
+	id     int
+	filter *Filter
+	w, h   float64
+	hits   int
+	misses int
+	valid  bool
+}
+
+// Report is one confirmed track's per-frame output.
+type Report struct {
+	ID     int
+	Box    geometry.Box
+	VX, VY float64
+}
+
+// Tracker is the multi-object KF tracker.
+type Tracker struct {
+	cfg    Config
+	tracks []track
+	nextID int
+}
+
+// New returns a Tracker.
+func New(cfg Config) (*Tracker, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Tracker{cfg: cfg, tracks: make([]track, cfg.MaxTracks)}, nil
+}
+
+// ActiveTracks returns the number of live tracks.
+func (t *Tracker) ActiveTracks() int {
+	n := 0
+	for i := range t.tracks {
+		if t.tracks[i].valid {
+			n++
+		}
+	}
+	return n
+}
+
+// associate returns pairs[trackIndex] = proposal index (or -1) under the
+// configured strategy, with gating applied in both.
+func (t *Tracker) associate(proposals []geometry.Box) ([]int, error) {
+	pairs := make([]int, len(t.tracks))
+	for i := range pairs {
+		pairs[i] = -1
+	}
+	if len(proposals) == 0 {
+		return pairs, nil
+	}
+	// Build the gated cost matrix over live tracks only.
+	live := make([]int, 0, len(t.tracks))
+	for i := range t.tracks {
+		if t.tracks[i].valid {
+			live = append(live, i)
+		}
+	}
+	if len(live) == 0 {
+		return pairs, nil
+	}
+	cost := make([][]float64, len(live))
+	for li, ti := range live {
+		cost[li] = make([]float64, len(proposals))
+		cx, cy := t.tracks[ti].filter.Centroid()
+		for j, p := range proposals {
+			px, py := p.Center()
+			d := math.Hypot(px-cx, py-cy)
+			if d <= t.cfg.GateDistance {
+				cost[li][j] = d
+			} else {
+				cost[li][j] = assign.Inf
+			}
+		}
+	}
+	var rowTo []int
+	var err error
+	if t.cfg.Association == AssociateOptimal {
+		rowTo, err = assign.Hungarian(cost)
+	} else {
+		rowTo, err = assign.Greedy(cost)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("kalman: association: %w", err)
+	}
+	for li, pj := range rowTo {
+		pairs[live[li]] = pj
+	}
+	return pairs, nil
+}
+
+// Step advances all tracks one frame with the given proposals and returns
+// confirmed-track reports.
+func (t *Tracker) Step(proposals []geometry.Box) ([]Report, error) {
+	// Predict.
+	for i := range t.tracks {
+		if !t.tracks[i].valid {
+			continue
+		}
+		if err := t.tracks[i].filter.Predict(); err != nil {
+			return nil, err
+		}
+	}
+
+	// Association within the gate: greedy nearest-first by default, or the
+	// exact Hungarian assignment for the association ablation.
+	pairs, err := t.associate(proposals)
+	if err != nil {
+		return nil, err
+	}
+	trackUsed := make([]bool, len(t.tracks))
+	propUsed := make([]bool, len(proposals))
+	for ti, pj := range pairs {
+		if pj < 0 {
+			continue
+		}
+		trackUsed[ti] = true
+		propUsed[pj] = true
+		tr := &t.tracks[ti]
+		px, py := proposals[pj].Center()
+		if err := tr.filter.Update(px, py); err != nil {
+			return nil, err
+		}
+		sb := t.cfg.SizeBlend
+		tr.w = (1-sb)*tr.w + sb*float64(proposals[pj].W)
+		tr.h = (1-sb)*tr.h + sb*float64(proposals[pj].H)
+		tr.hits++
+		tr.misses = 0
+	}
+
+	// Missed tracks age out.
+	for i := range t.tracks {
+		tr := &t.tracks[i]
+		if !tr.valid || trackUsed[i] {
+			continue
+		}
+		tr.misses++
+		if tr.misses > t.cfg.MaxMisses {
+			t.tracks[i] = track{}
+		}
+	}
+
+	// Seed new tracks from unassociated proposals.
+	for j, p := range proposals {
+		if propUsed[j] {
+			continue
+		}
+		slot := -1
+		for i := range t.tracks {
+			if !t.tracks[i].valid {
+				slot = i
+				break
+			}
+		}
+		if slot < 0 {
+			break
+		}
+		cx, cy := p.Center()
+		t.tracks[slot] = track{
+			id:     t.nextID,
+			filter: NewFilter(cx, cy, t.cfg.ProcessNoise, t.cfg.MeasurementNoise),
+			w:      float64(p.W),
+			h:      float64(p.H),
+			hits:   1,
+			valid:  true,
+		}
+		t.nextID++
+	}
+
+	// Drop tracks that left the frame.
+	for i := range t.tracks {
+		tr := &t.tracks[i]
+		if !tr.valid {
+			continue
+		}
+		cx, cy := tr.filter.Centroid()
+		if cx < float64(t.cfg.Bounds.X)-tr.w || cx > float64(t.cfg.Bounds.MaxX())+tr.w ||
+			cy < float64(t.cfg.Bounds.Y)-tr.h || cy > float64(t.cfg.Bounds.MaxY())+tr.h {
+			t.tracks[i] = track{}
+		}
+	}
+
+	// Reports.
+	var out []Report
+	for i := range t.tracks {
+		tr := &t.tracks[i]
+		if !tr.valid || tr.hits < t.cfg.MinHits {
+			continue
+		}
+		cx, cy := tr.filter.Centroid()
+		vx, vy := tr.filter.Velocity()
+		b := geometry.FBox{X: cx - tr.w/2, Y: cy - tr.h/2, W: tr.w, H: tr.h}.Round().Clamp(t.cfg.Bounds)
+		if b.Empty() {
+			continue
+		}
+		out = append(out, Report{ID: tr.id, Box: b, VX: vx, VY: vy})
+	}
+	return out, nil
+}

@@ -1,0 +1,229 @@
+// Package matrix provides small dense float64 matrices for the Kalman
+// filter baseline. It is deliberately minimal — the KF state in the paper
+// is a handful of elements per track (Eq. 7), so no BLAS-style machinery is
+// warranted, only correct arithmetic with explicit error returns.
+package matrix
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"strings"
+)
+
+// ErrSingular is returned when inverting a (numerically) singular matrix.
+var ErrSingular = errors.New("matrix: singular matrix")
+
+// Mat is a dense row-major matrix.
+type Mat struct {
+	Rows, Cols int
+	Data       []float64
+}
+
+// New returns a zero matrix of the given shape. It panics on non-positive
+// dimensions (programmer error, like a negative slice length).
+func New(rows, cols int) *Mat {
+	if rows <= 0 || cols <= 0 {
+		panic(fmt.Sprintf("matrix: invalid shape %dx%d", rows, cols))
+	}
+	return &Mat{Rows: rows, Cols: cols, Data: make([]float64, rows*cols)}
+}
+
+// FromSlice builds a matrix from row-major data; the slice is copied.
+func FromSlice(rows, cols int, data []float64) (*Mat, error) {
+	if rows <= 0 || cols <= 0 {
+		return nil, fmt.Errorf("matrix: invalid shape %dx%d", rows, cols)
+	}
+	if len(data) != rows*cols {
+		return nil, fmt.Errorf("matrix: data length %d != %d*%d", len(data), rows, cols)
+	}
+	m := New(rows, cols)
+	copy(m.Data, data)
+	return m, nil
+}
+
+// Identity returns the n x n identity matrix.
+func Identity(n int) *Mat {
+	m := New(n, n)
+	for i := 0; i < n; i++ {
+		m.Data[i*n+i] = 1
+	}
+	return m
+}
+
+// Clone returns a deep copy.
+func (m *Mat) Clone() *Mat {
+	c := New(m.Rows, m.Cols)
+	copy(c.Data, m.Data)
+	return c
+}
+
+// At returns element (i, j).
+func (m *Mat) At(i, j int) float64 { return m.Data[i*m.Cols+j] }
+
+// Set assigns element (i, j).
+func (m *Mat) Set(i, j int, v float64) { m.Data[i*m.Cols+j] = v }
+
+// String implements fmt.Stringer for debugging.
+func (m *Mat) String() string {
+	var sb strings.Builder
+	for i := 0; i < m.Rows; i++ {
+		for j := 0; j < m.Cols; j++ {
+			fmt.Fprintf(&sb, "%10.4f ", m.At(i, j))
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// Add returns m + o.
+func (m *Mat) Add(o *Mat) (*Mat, error) {
+	if m.Rows != o.Rows || m.Cols != o.Cols {
+		return nil, fmt.Errorf("matrix: add shape mismatch %dx%d vs %dx%d", m.Rows, m.Cols, o.Rows, o.Cols)
+	}
+	out := New(m.Rows, m.Cols)
+	for i := range m.Data {
+		out.Data[i] = m.Data[i] + o.Data[i]
+	}
+	return out, nil
+}
+
+// Sub returns m - o.
+func (m *Mat) Sub(o *Mat) (*Mat, error) {
+	if m.Rows != o.Rows || m.Cols != o.Cols {
+		return nil, fmt.Errorf("matrix: sub shape mismatch %dx%d vs %dx%d", m.Rows, m.Cols, o.Rows, o.Cols)
+	}
+	out := New(m.Rows, m.Cols)
+	for i := range m.Data {
+		out.Data[i] = m.Data[i] - o.Data[i]
+	}
+	return out, nil
+}
+
+// Mul returns the matrix product m * o.
+func (m *Mat) Mul(o *Mat) (*Mat, error) {
+	if m.Cols != o.Rows {
+		return nil, fmt.Errorf("matrix: mul shape mismatch %dx%d * %dx%d", m.Rows, m.Cols, o.Rows, o.Cols)
+	}
+	out := New(m.Rows, o.Cols)
+	for i := 0; i < m.Rows; i++ {
+		for k := 0; k < m.Cols; k++ {
+			a := m.Data[i*m.Cols+k]
+			if a == 0 {
+				continue
+			}
+			row := k * o.Cols
+			outRow := i * o.Cols
+			for j := 0; j < o.Cols; j++ {
+				out.Data[outRow+j] += a * o.Data[row+j]
+			}
+		}
+	}
+	return out, nil
+}
+
+// Scale returns s * m.
+func (m *Mat) Scale(s float64) *Mat {
+	out := New(m.Rows, m.Cols)
+	for i := range m.Data {
+		out.Data[i] = s * m.Data[i]
+	}
+	return out
+}
+
+// T returns the transpose.
+func (m *Mat) T() *Mat {
+	out := New(m.Cols, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		for j := 0; j < m.Cols; j++ {
+			out.Data[j*m.Rows+i] = m.Data[i*m.Cols+j]
+		}
+	}
+	return out
+}
+
+// Inverse returns m^-1 by Gauss-Jordan elimination with partial pivoting.
+// Returns ErrSingular when a pivot underflows.
+func (m *Mat) Inverse() (*Mat, error) {
+	if m.Rows != m.Cols {
+		return nil, fmt.Errorf("matrix: cannot invert %dx%d", m.Rows, m.Cols)
+	}
+	n := m.Rows
+	a := m.Clone()
+	inv := Identity(n)
+	for col := 0; col < n; col++ {
+		// Partial pivot.
+		pivot := col
+		best := math.Abs(a.At(col, col))
+		for r := col + 1; r < n; r++ {
+			if v := math.Abs(a.At(r, col)); v > best {
+				best = v
+				pivot = r
+			}
+		}
+		if best < 1e-12 {
+			return nil, ErrSingular
+		}
+		if pivot != col {
+			swapRows(a, pivot, col)
+			swapRows(inv, pivot, col)
+		}
+		// Normalise pivot row.
+		p := a.At(col, col)
+		for j := 0; j < n; j++ {
+			a.Set(col, j, a.At(col, j)/p)
+			inv.Set(col, j, inv.At(col, j)/p)
+		}
+		// Eliminate the column from other rows.
+		for r := 0; r < n; r++ {
+			if r == col {
+				continue
+			}
+			f := a.At(r, col)
+			if f == 0 {
+				continue
+			}
+			for j := 0; j < n; j++ {
+				a.Set(r, j, a.At(r, j)-f*a.At(col, j))
+				inv.Set(r, j, inv.At(r, j)-f*inv.At(col, j))
+			}
+		}
+	}
+	return inv, nil
+}
+
+func swapRows(m *Mat, r1, r2 int) {
+	for j := 0; j < m.Cols; j++ {
+		m.Data[r1*m.Cols+j], m.Data[r2*m.Cols+j] = m.Data[r2*m.Cols+j], m.Data[r1*m.Cols+j]
+	}
+}
+
+// Symmetrize returns (m + m^T)/2, used to keep covariance matrices
+// numerically symmetric across updates.
+func (m *Mat) Symmetrize() (*Mat, error) {
+	if m.Rows != m.Cols {
+		return nil, fmt.Errorf("matrix: cannot symmetrize %dx%d", m.Rows, m.Cols)
+	}
+	t := m.T()
+	s, err := m.Add(t)
+	if err != nil {
+		return nil, err
+	}
+	return s.Scale(0.5), nil
+}
+
+// MaxAbsDiff returns the largest absolute element-wise difference, or an
+// error on shape mismatch. Useful for approximate equality in tests.
+func (m *Mat) MaxAbsDiff(o *Mat) (float64, error) {
+	if m.Rows != o.Rows || m.Cols != o.Cols {
+		return 0, fmt.Errorf("matrix: diff shape mismatch %dx%d vs %dx%d", m.Rows, m.Cols, o.Rows, o.Cols)
+	}
+	max := 0.0
+	for i := range m.Data {
+		d := math.Abs(m.Data[i] - o.Data[i])
+		if d > max {
+			max = d
+		}
+	}
+	return max, nil
+}

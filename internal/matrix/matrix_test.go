@@ -1,0 +1,258 @@
+package matrix
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(t *testing.T, got, want *Mat, tol float64) {
+	t.Helper()
+	d, err := got.MaxAbsDiff(want)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d > tol {
+		t.Errorf("matrices differ by %v:\ngot\n%swant\n%s", d, got, want)
+	}
+}
+
+func TestNewPanicsOnBadShape(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("New(0, 3) should panic")
+		}
+	}()
+	New(0, 3)
+}
+
+func TestFromSlice(t *testing.T) {
+	m, err := FromSlice(2, 2, []float64{1, 2, 3, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.At(0, 1) != 2 || m.At(1, 0) != 3 {
+		t.Errorf("element access wrong: %s", m)
+	}
+	if _, err := FromSlice(2, 2, []float64{1}); err == nil {
+		t.Error("length mismatch should error")
+	}
+	if _, err := FromSlice(-1, 2, nil); err == nil {
+		t.Error("negative shape should error")
+	}
+}
+
+func TestAddSub(t *testing.T) {
+	a, _ := FromSlice(2, 2, []float64{1, 2, 3, 4})
+	b, _ := FromSlice(2, 2, []float64{5, 6, 7, 8})
+	sum, err := a.Add(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := FromSlice(2, 2, []float64{6, 8, 10, 12})
+	almostEq(t, sum, want, 0)
+	diff, err := sum.Sub(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	almostEq(t, diff, a, 0)
+	if _, err := a.Add(New(3, 3)); err == nil {
+		t.Error("shape mismatch should error")
+	}
+	if _, err := a.Sub(New(1, 2)); err == nil {
+		t.Error("shape mismatch should error")
+	}
+}
+
+func TestMul(t *testing.T) {
+	a, _ := FromSlice(2, 3, []float64{1, 2, 3, 4, 5, 6})
+	b, _ := FromSlice(3, 2, []float64{7, 8, 9, 10, 11, 12})
+	got, err := a.Mul(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := FromSlice(2, 2, []float64{58, 64, 139, 154})
+	almostEq(t, got, want, 1e-12)
+	if _, err := a.Mul(New(2, 2)); err == nil {
+		t.Error("inner dimension mismatch should error")
+	}
+}
+
+func TestMulIdentity(t *testing.T) {
+	a, _ := FromSlice(3, 3, []float64{2, -1, 0, 1, 3, 5, 0, 0, 4})
+	got, err := a.Mul(Identity(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	almostEq(t, got, a, 0)
+	got2, err := Identity(3).Mul(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	almostEq(t, got2, a, 0)
+}
+
+func TestTranspose(t *testing.T) {
+	a, _ := FromSlice(2, 3, []float64{1, 2, 3, 4, 5, 6})
+	got := a.T()
+	want, _ := FromSlice(3, 2, []float64{1, 4, 2, 5, 3, 6})
+	almostEq(t, got, want, 0)
+	// Double transpose is identity.
+	almostEq(t, got.T(), a, 0)
+}
+
+func TestScale(t *testing.T) {
+	a, _ := FromSlice(2, 2, []float64{1, 2, 3, 4})
+	got := a.Scale(-2)
+	want, _ := FromSlice(2, 2, []float64{-2, -4, -6, -8})
+	almostEq(t, got, want, 0)
+}
+
+func TestInverse2x2(t *testing.T) {
+	a, _ := FromSlice(2, 2, []float64{4, 7, 2, 6})
+	inv, err := a.Inverse()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := FromSlice(2, 2, []float64{0.6, -0.7, -0.2, 0.4})
+	almostEq(t, inv, want, 1e-12)
+}
+
+func TestInverseProducesIdentity(t *testing.T) {
+	a, _ := FromSlice(3, 3, []float64{2, -1, 0, -1, 2, -1, 0, -1, 2})
+	inv, err := a.Inverse()
+	if err != nil {
+		t.Fatal(err)
+	}
+	prod, err := a.Mul(inv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	almostEq(t, prod, Identity(3), 1e-10)
+}
+
+func TestInverseRequiresPivoting(t *testing.T) {
+	// Zero on the diagonal forces a row swap.
+	a, _ := FromSlice(2, 2, []float64{0, 1, 1, 0})
+	inv, err := a.Inverse()
+	if err != nil {
+		t.Fatal(err)
+	}
+	almostEq(t, inv, a, 1e-12) // a permutation is its own inverse
+}
+
+func TestInverseSingular(t *testing.T) {
+	a, _ := FromSlice(2, 2, []float64{1, 2, 2, 4})
+	if _, err := a.Inverse(); !errors.Is(err, ErrSingular) {
+		t.Errorf("want ErrSingular, got %v", err)
+	}
+	if _, err := New(2, 3).Inverse(); err == nil {
+		t.Error("non-square inverse should error")
+	}
+}
+
+func TestSymmetrize(t *testing.T) {
+	a, _ := FromSlice(2, 2, []float64{1, 2, 4, 3})
+	s, err := a.Symmetrize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := FromSlice(2, 2, []float64{1, 3, 3, 3})
+	almostEq(t, s, want, 0)
+	if _, err := New(2, 3).Symmetrize(); err == nil {
+		t.Error("non-square symmetrize should error")
+	}
+}
+
+func TestCloneIndependent(t *testing.T) {
+	a := Identity(2)
+	b := a.Clone()
+	b.Set(0, 0, 99)
+	if a.At(0, 0) != 1 {
+		t.Error("clone mutation leaked into original")
+	}
+}
+
+func TestInversePropertyRandomSPD(t *testing.T) {
+	// For random well-conditioned SPD matrices M = A^T A + I,
+	// M * M^-1 ~= I.
+	prop := func(vals [9]int8) bool {
+		a := New(3, 3)
+		for i, v := range vals {
+			a.Data[i] = float64(v%8) / 4
+		}
+		at := a.T()
+		m, err := at.Mul(a)
+		if err != nil {
+			return false
+		}
+		m, err = m.Add(Identity(3))
+		if err != nil {
+			return false
+		}
+		inv, err := m.Inverse()
+		if err != nil {
+			return false
+		}
+		prod, err := m.Mul(inv)
+		if err != nil {
+			return false
+		}
+		d, err := prod.MaxAbsDiff(Identity(3))
+		if err != nil {
+			return false
+		}
+		return d < 1e-9
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMulAssociativityProperty(t *testing.T) {
+	prop := func(vals [12]int8) bool {
+		a := New(2, 2)
+		b := New(2, 2)
+		c := New(2, 2)
+		for i := 0; i < 4; i++ {
+			a.Data[i] = float64(vals[i])
+			b.Data[i] = float64(vals[i+4])
+			c.Data[i] = float64(vals[i+8])
+		}
+		ab, err := a.Mul(b)
+		if err != nil {
+			return false
+		}
+		abc1, err := ab.Mul(c)
+		if err != nil {
+			return false
+		}
+		bc, err := b.Mul(c)
+		if err != nil {
+			return false
+		}
+		abc2, err := a.Mul(bc)
+		if err != nil {
+			return false
+		}
+		d, err := abc1.MaxAbsDiff(abc2)
+		if err != nil {
+			return false
+		}
+		return d < math.Max(1e-6, 1e-12*maxAbs(abc1))
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func maxAbs(m *Mat) float64 {
+	v := 0.0
+	for _, x := range m.Data {
+		if a := math.Abs(x); a > v {
+			v = a
+		}
+	}
+	return v
+}

@@ -1,0 +1,220 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"ebbiot/internal/geometry"
+)
+
+func box(x, y, w, h int) geometry.Box { return geometry.NewBox(x, y, w, h) }
+
+func TestMatchFramePerfect(t *testing.T) {
+	s := FrameSample{
+		Tracker:     []geometry.Box{box(10, 10, 20, 20), box(100, 50, 30, 15)},
+		GroundTruth: []geometry.Box{box(10, 10, 20, 20), box(100, 50, 30, 15)},
+	}
+	c := MatchFrame(s, 0.5)
+	if c.TruePositives != 2 || c.Proposals != 2 || c.GroundTruth != 2 {
+		t.Errorf("counts = %+v", c)
+	}
+	if c.Precision() != 1 || c.Recall() != 1 {
+		t.Errorf("P=%v R=%v", c.Precision(), c.Recall())
+	}
+}
+
+func TestMatchFrameMisses(t *testing.T) {
+	s := FrameSample{
+		Tracker:     []geometry.Box{box(10, 10, 20, 20)},
+		GroundTruth: []geometry.Box{box(100, 100, 20, 20)},
+	}
+	c := MatchFrame(s, 0.5)
+	if c.TruePositives != 0 {
+		t.Errorf("disjoint boxes matched: %+v", c)
+	}
+	if c.Precision() != 0 || c.Recall() != 0 {
+		t.Errorf("P=%v R=%v", c.Precision(), c.Recall())
+	}
+}
+
+func TestMatchFrameOneGTOneTP(t *testing.T) {
+	// Two tracker boxes over one ground truth: only one may count.
+	g := box(10, 10, 20, 20)
+	s := FrameSample{
+		Tracker:     []geometry.Box{g, g.Translate(1, 0)},
+		GroundTruth: []geometry.Box{g},
+	}
+	c := MatchFrame(s, 0.5)
+	if c.TruePositives != 1 {
+		t.Errorf("GT box validated %d tracker boxes, want 1", c.TruePositives)
+	}
+	if got := c.Precision(); got != 0.5 {
+		t.Errorf("precision = %v, want 0.5", got)
+	}
+}
+
+func TestMatchFrameGreedyPicksBest(t *testing.T) {
+	// A tight box and a loose box over the same GT: the tight one wins, and
+	// the loose one cannot steal a different GT it barely misses.
+	gt := box(10, 10, 20, 20)
+	tight := box(10, 10, 20, 20)
+	loose := box(5, 5, 30, 30)
+	s := FrameSample{Tracker: []geometry.Box{loose, tight}, GroundTruth: []geometry.Box{gt}}
+	c := MatchFrame(s, 0.4)
+	if c.TruePositives != 1 {
+		t.Errorf("TP = %d, want 1", c.TruePositives)
+	}
+}
+
+func TestMatchFrameThresholdStrict(t *testing.T) {
+	// IoU exactly at the threshold must NOT count (strictly greater).
+	a := box(0, 0, 10, 10)
+	b := box(5, 0, 10, 10) // IoU = 50/150 = 1/3
+	s := FrameSample{Tracker: []geometry.Box{a}, GroundTruth: []geometry.Box{b}}
+	if c := MatchFrame(s, 1.0/3.0); c.TruePositives != 0 {
+		t.Error("IoU equal to threshold should not match")
+	}
+	if c := MatchFrame(s, 1.0/3.0-1e-9); c.TruePositives != 1 {
+		t.Error("IoU just above threshold should match")
+	}
+}
+
+func TestEmptyFrameConventions(t *testing.T) {
+	c := MatchFrame(FrameSample{}, 0.5)
+	if c.Precision() != 1 || c.Recall() != 1 {
+		t.Errorf("empty frame: P=%v R=%v, want 1,1", c.Precision(), c.Recall())
+	}
+	// Proposals with no GT: precision 0, recall 1.
+	c = MatchFrame(FrameSample{Tracker: []geometry.Box{box(0, 0, 5, 5)}}, 0.5)
+	if c.Precision() != 0 || c.Recall() != 1 {
+		t.Errorf("spurious proposals: P=%v R=%v", c.Precision(), c.Recall())
+	}
+	// GT with no proposals: precision 1, recall 0.
+	c = MatchFrame(FrameSample{GroundTruth: []geometry.Box{box(0, 0, 5, 5)}}, 0.5)
+	if c.Precision() != 1 || c.Recall() != 0 {
+		t.Errorf("missed GT: P=%v R=%v", c.Precision(), c.Recall())
+	}
+}
+
+func TestEvaluateAccumulates(t *testing.T) {
+	g := box(10, 10, 20, 20)
+	samples := []FrameSample{
+		{Tracker: []geometry.Box{g}, GroundTruth: []geometry.Box{g}},
+		{Tracker: []geometry.Box{box(100, 100, 10, 10)}, GroundTruth: []geometry.Box{g}},
+	}
+	c := Evaluate(samples, 0.5)
+	if c.TruePositives != 1 || c.Proposals != 2 || c.GroundTruth != 2 {
+		t.Errorf("counts = %+v", c)
+	}
+	if c.Precision() != 0.5 || c.Recall() != 0.5 {
+		t.Errorf("P=%v R=%v", c.Precision(), c.Recall())
+	}
+	if math.Abs(c.F1()-0.5) > 1e-12 {
+		t.Errorf("F1 = %v", c.F1())
+	}
+}
+
+func TestSweepMonotoneNonIncreasing(t *testing.T) {
+	// As the IoU threshold rises, precision and recall cannot increase.
+	g := box(10, 10, 20, 20)
+	samples := []FrameSample{
+		{Tracker: []geometry.Box{g}, GroundTruth: []geometry.Box{g}},
+		{Tracker: []geometry.Box{g.Translate(3, 2)}, GroundTruth: []geometry.Box{g}},
+		{Tracker: []geometry.Box{g.Translate(8, 5)}, GroundTruth: []geometry.Box{g}},
+	}
+	pts := Sweep(samples, DefaultThresholds())
+	for i := 1; i < len(pts); i++ {
+		if pts[i].Precision > pts[i-1].Precision+1e-12 {
+			t.Errorf("precision increased with threshold: %+v", pts)
+		}
+		if pts[i].Recall > pts[i-1].Recall+1e-12 {
+			t.Errorf("recall increased with threshold: %+v", pts)
+		}
+	}
+}
+
+func TestWeightedAverage(t *testing.T) {
+	mk := func(p, r float64) []Point {
+		return []Point{{IoUThreshold: 0.5, Precision: p, Recall: r}}
+	}
+	res := []RecordingResult{
+		{Name: "ENG", Points: mk(0.9, 0.8), TrackWeight: 3},
+		{Name: "LT4", Points: mk(0.5, 0.4), TrackWeight: 1},
+	}
+	avg, err := WeightedAverage(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantP := (0.9*3 + 0.5*1) / 4
+	wantR := (0.8*3 + 0.4*1) / 4
+	if math.Abs(avg[0].Precision-wantP) > 1e-12 || math.Abs(avg[0].Recall-wantR) > 1e-12 {
+		t.Errorf("avg = %+v, want P=%v R=%v", avg[0], wantP, wantR)
+	}
+}
+
+func TestWeightedAverageErrors(t *testing.T) {
+	if _, err := WeightedAverage(nil); err == nil {
+		t.Error("empty input should error")
+	}
+	mk := func(th float64) []Point { return []Point{{IoUThreshold: th}} }
+	if _, err := WeightedAverage([]RecordingResult{
+		{Points: mk(0.5), TrackWeight: 0},
+		{Points: mk(0.5), TrackWeight: 0},
+	}); err == nil {
+		t.Error("all-zero weights should error")
+	}
+	if _, err := WeightedAverage([]RecordingResult{
+		{Points: mk(0.5), TrackWeight: 1},
+		{Points: mk(0.6), TrackWeight: 1},
+	}); err == nil {
+		t.Error("mismatched threshold grids should error")
+	}
+	if _, err := WeightedAverage([]RecordingResult{
+		{Points: mk(0.5), TrackWeight: 1},
+		{Points: []Point{{IoUThreshold: 0.5}, {IoUThreshold: 0.6}}, TrackWeight: 1},
+	}); err == nil {
+		t.Error("mismatched point counts should error")
+	}
+}
+
+func TestPrecisionRecallBoundsProperty(t *testing.T) {
+	// Precision and recall always lie in [0, 1]; TP never exceeds either
+	// total, for arbitrary box sets.
+	prop := func(seed []uint16, th8 uint8) bool {
+		var s FrameSample
+		for i, v := range seed {
+			b := box(int(v%200), int(v/200%150), 1+int(v%30), 1+int(v%20))
+			if i%2 == 0 {
+				s.Tracker = append(s.Tracker, b)
+			} else {
+				s.GroundTruth = append(s.GroundTruth, b)
+			}
+		}
+		th := float64(th8%90) / 100
+		c := MatchFrame(s, th)
+		if c.TruePositives > c.Proposals || c.TruePositives > c.GroundTruth {
+			return false
+		}
+		p, r := c.Precision(), c.Recall()
+		return p >= 0 && p <= 1 && r >= 0 && r <= 1
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCountsAdd(t *testing.T) {
+	a := Counts{TruePositives: 1, Proposals: 2, GroundTruth: 3}
+	a.Add(Counts{TruePositives: 4, Proposals: 5, GroundTruth: 6})
+	if a != (Counts{TruePositives: 5, Proposals: 7, GroundTruth: 9}) {
+		t.Errorf("Add = %+v", a)
+	}
+}
+
+func TestDefaultThresholds(t *testing.T) {
+	th := DefaultThresholds()
+	if len(th) != 5 || th[0] != 0.3 || th[len(th)-1] != 0.7 {
+		t.Errorf("thresholds = %v", th)
+	}
+}

@@ -1,0 +1,191 @@
+package resources
+
+import (
+	"math"
+	"testing"
+)
+
+func approx(t *testing.T, name string, got, want, tol float64) {
+	t.Helper()
+	if math.Abs(got-want) > tol {
+		t.Errorf("%s = %v, want %v (±%v)", name, got, want, tol)
+	}
+}
+
+func TestPaperDefaultsValidate(t *testing.T) {
+	if err := PaperDefaults().Validate(); err != nil {
+		t.Fatalf("paper defaults invalid: %v", err)
+	}
+}
+
+func TestValidateCatchesBadParams(t *testing.T) {
+	mutations := []func(*Params){
+		func(p *Params) { p.A = 0 },
+		func(p *Params) { p.P = 2 },
+		func(p *Params) { p.Alpha = 1.5 },
+		func(p *Params) { p.Beta = 0.5 },
+		func(p *Params) { p.Bt = 0 },
+		func(p *Params) { p.S1 = 0 },
+		func(p *Params) { p.NF = -1 },
+		func(p *Params) { p.CLMax = 0 },
+	}
+	for i, mut := range mutations {
+		p := PaperDefaults()
+		mut(&p)
+		if err := p.Validate(); err == nil {
+			t.Errorf("mutation %d should invalidate params", i)
+		}
+	}
+}
+
+// The tests below pin the equations to the paper's quoted Section II
+// arithmetic.
+
+func TestEq1EBBI(t *testing.T) {
+	p := PaperDefaults()
+	// Paper: C_EBBI ~ 125.2 kops/frame.
+	approx(t, "C_EBBI", p.EBBIComputes(), 125280, 1)
+	// Paper: M_EBBI = 2 A B bits = 10.8 kB.
+	approx(t, "M_EBBI bits", p.EBBIMemoryBits(), 86400, 0)
+	approx(t, "M_EBBI kB", p.EBBIMemoryBits()/8192, 10.55, 0.3)
+}
+
+func TestEq2NNFilt(t *testing.T) {
+	p := PaperDefaults()
+	// Paper: n = beta alpha A B with beta = 2 -> 8640 events/frame.
+	approx(t, "n", p.EventsPerFrame(), 8640, 1e-9)
+	// Paper: C_NN-filt ~ 276.4 kops/frame.
+	approx(t, "C_NN", p.NNFiltComputes(), 276480, 1)
+	// Paper: M_NN-filt = Bt A B; 8x more than EBBI at Bt = 16.
+	approx(t, "M_NN bits", p.NNFiltMemoryBits(), 691200, 0)
+	approx(t, "memory ratio", p.NNFiltMemoryBits()/p.EBBIMemoryBits(), 8, 1e-12)
+}
+
+func TestEq5RPN(t *testing.T) {
+	p := PaperDefaults()
+	// Formula as printed: A B + 2 A B/(s1 s2) = 48.0 kops (the paper quotes
+	// 45.6; see the doc comment).
+	approx(t, "C_RPN", p.RPNComputes(), 48000, 1)
+	// Paper: M_RPN ~ 1.6 kB.
+	approx(t, "M_RPN bits", p.RPNMemoryBits(), 13040, 1)
+	approx(t, "M_RPN kB", p.RPNMemoryBits()/8192, 1.6, 0.05)
+}
+
+func TestEq6OT(t *testing.T) {
+	p := PaperDefaults()
+	// Paper: C_OT ~ 564 at NT ~ 2.
+	approx(t, "C_OT", p.OTComputes(DefaultOTParams()), 564, 1)
+	// Paper: OT memory is negligible, < 0.5 kB.
+	if bits := p.OTMemoryBits(); bits/8192 >= 0.5 {
+		t.Errorf("OT memory %v kB, want < 0.5", bits/8192)
+	}
+}
+
+func TestEq7KF(t *testing.T) {
+	p := PaperDefaults()
+	// Paper: n = m = 2 NT = 4 -> C_KF = 1200.
+	approx(t, "C_KF", p.KFComputesPaper(), 1200, 1e-9)
+	// Paper: M_KF ~ 1.1 kB.
+	approx(t, "M_KF kB", p.KFMemoryBitsPaper()/8192, 1.1, 0.2)
+}
+
+func TestEq8EBMS(t *testing.T) {
+	p := PaperDefaults()
+	// Paper: ~252 kops/frame at NF = 650, CL = 2, gamma = 0.1.
+	approx(t, "C_EBMS", p.EBMSComputes(), 252330, 500)
+	// Paper formula: M_EBMS = 408 CLmax + 56 bits.
+	approx(t, "M_EBMS bits", p.EBMSMemoryBits(), 3320, 0)
+}
+
+func TestHeadlineRatios(t *testing.T) {
+	p := PaperDefaults()
+	cmp, err := p.Compare(DefaultOTParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Budgets[0] is EBBIOT (relative 1.0), [1] EBBI+KF, [2] EBMS.
+	if cmp.RelComputes[0] != 1 || cmp.RelMemory[0] != 1 {
+		t.Errorf("EBBIOT must be the unit reference: %+v", cmp)
+	}
+	// Abstract: ~3x fewer computes than the EBMS pipeline.
+	approx(t, "EBMS compute ratio", cmp.RelComputes[2], 3.0, 0.3)
+	// Abstract: ~7x less memory than the EBMS pipeline.
+	approx(t, "EBMS memory ratio", cmp.RelMemory[2], 7.0, 0.7)
+	// The KF pipeline differs from EBBIOT only in the tracker block, which
+	// is negligible next to EBBI+RPN: ratios just above 1.
+	if cmp.RelComputes[1] < 1 || cmp.RelComputes[1] > 1.05 {
+		t.Errorf("EBBI+KF compute ratio = %v, want ~1", cmp.RelComputes[1])
+	}
+	if cmp.RelMemory[1] < 1 || cmp.RelMemory[1] > 1.15 {
+		t.Errorf("EBBI+KF memory ratio = %v, want ~1", cmp.RelMemory[1])
+	}
+}
+
+func TestCNNComparison(t *testing.T) {
+	p := PaperDefaults()
+	cnn := CNNRPNEstimate()
+	// Abstract: >1000x less memory and computes than frame-based (CNN)
+	// region proposal.
+	if ratio := cnn.ComputesOps / p.RPNComputes(); ratio < 1000 {
+		t.Errorf("CNN compute ratio = %v, want > 1000", ratio)
+	}
+	if ratio := cnn.MemoryBits / p.RPNMemoryBits(); ratio < 1000 {
+		t.Errorf("CNN memory ratio = %v, want > 1000", ratio)
+	}
+}
+
+func TestKFComputesFormula(t *testing.T) {
+	// Spot check Eq. 7 symbolically: n = m = 1 -> 4+6+4+4+3 = 21.
+	approx(t, "C_KF(1,1)", KFComputes(1, 1), 21, 1e-12)
+	// Cubic growth.
+	if KFComputes(8, 8) < 8*KFComputes(4, 4)*0.9 {
+		t.Error("KF computes should grow cubically")
+	}
+}
+
+func TestPipelineBudgetErrors(t *testing.T) {
+	p := PaperDefaults()
+	if _, err := p.PipelineBudget(Pipeline(99), DefaultOTParams()); err == nil {
+		t.Error("unknown pipeline should error")
+	}
+	bad := p
+	bad.A = -1
+	if _, err := bad.PipelineBudget(PipelineEBBIOT, DefaultOTParams()); err == nil {
+		t.Error("invalid params should error")
+	}
+}
+
+func TestPipelineString(t *testing.T) {
+	if PipelineEBBIOT.String() != "EBBIOT" || PipelineEBMS.String() != "EBMS" || PipelineEBBIKF.String() != "EBBI+KF" {
+		t.Error("pipeline names wrong")
+	}
+	if Pipeline(42).String() != "Pipeline(42)" {
+		t.Error("unknown pipeline formatting wrong")
+	}
+}
+
+func TestBudgetKBytes(t *testing.T) {
+	b := Budget{MemoryBits: 8192}
+	if b.KBytes() != 1 {
+		t.Errorf("KBytes = %v", b.KBytes())
+	}
+}
+
+func TestScalingBehaviours(t *testing.T) {
+	// EBBI computes scale linearly with activity; NN-filt scales with beta
+	// as well, so denser firing favours the frame approach.
+	p := PaperDefaults()
+	busy := p
+	busy.Alpha = 0.2
+	if busy.EBBIComputes() <= p.EBBIComputes() {
+		t.Error("EBBI computes should grow with alpha")
+	}
+	fast := p
+	fast.Beta = 4
+	if fast.NNFiltComputes() != 2*p.NNFiltComputes() {
+		t.Error("NN computes should be linear in beta")
+	}
+	if fast.EBBIComputes() != p.EBBIComputes() {
+		t.Error("EBBI computes must not depend on beta (binary latch)")
+	}
+}

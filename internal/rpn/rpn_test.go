@@ -1,0 +1,308 @@
+package rpn
+
+import (
+	"testing"
+
+	"ebbiot/internal/events"
+	"ebbiot/internal/geometry"
+	"ebbiot/internal/imgproc"
+)
+
+// denseBox sets every pixel of the box in a DAVIS-sized bitmap.
+func denseBox(img *imgproc.Bitmap, b geometry.Box) {
+	for y := b.Y; y < b.MaxY(); y++ {
+		for x := b.X; x < b.MaxX(); x++ {
+			img.Set(x, y)
+		}
+	}
+}
+
+func newDAVISBitmap() *imgproc.Bitmap {
+	return imgproc.NewBitmap(events.DAVIS240.A, events.DAVIS240.B)
+}
+
+func TestSingleObjectProposal(t *testing.T) {
+	img := newDAVISBitmap()
+	obj := geometry.NewBox(60, 72, 36, 18)
+	denseBox(img, obj)
+	p, err := New(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := p.Propose(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Proposals) != 1 {
+		t.Fatalf("got %d proposals, want 1: %+v", len(res.Proposals), res.Proposals)
+	}
+	got := res.Proposals[0].Box
+	if got.IoU(obj) < 0.6 {
+		t.Errorf("proposal %v poorly overlaps object %v (IoU %.2f)", got, obj, got.IoU(obj))
+	}
+	// Coarseness bound: the proposal can exceed the object by at most one
+	// block on each side.
+	if got.X < obj.X-6 || got.MaxX() > obj.MaxX()+6 || got.Y < obj.Y-3 || got.MaxY() > obj.MaxY()+3 {
+		t.Errorf("proposal %v exceeds block-coarse bounds around %v", got, obj)
+	}
+}
+
+func TestEmptyImageNoProposals(t *testing.T) {
+	p, err := New(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := p.Propose(newDAVISBitmap())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Proposals) != 0 {
+		t.Errorf("empty image proposed %d regions", len(res.Proposals))
+	}
+}
+
+func TestFragmentedObjectMerged(t *testing.T) {
+	// Two halves of a bus separated by a small textureless gap: the
+	// downsampled histograms must merge them into one proposal (the Fig. 3
+	// scenario).
+	img := newDAVISBitmap()
+	denseBox(img, geometry.NewBox(60, 72, 20, 20))
+	denseBox(img, geometry.NewBox(86, 72, 20, 20)) // 6 px gap = 1 block
+	p, err := New(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := p.Propose(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Proposals) != 1 {
+		t.Fatalf("fragmented object produced %d proposals, want 1 merged", len(res.Proposals))
+	}
+	b := res.Proposals[0].Box
+	if b.X > 60 || b.MaxX() < 106 {
+		t.Errorf("merged proposal %v does not span both fragments", b)
+	}
+}
+
+func TestTwoSeparatedObjects(t *testing.T) {
+	img := newDAVISBitmap()
+	a := geometry.NewBox(24, 72, 30, 18)
+	b := geometry.NewBox(168, 72, 30, 18)
+	denseBox(img, a)
+	denseBox(img, b)
+	p, err := New(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := p.Propose(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Proposals) != 2 {
+		t.Fatalf("got %d proposals, want 2: %+v", len(res.Proposals), res.Proposals)
+	}
+}
+
+func TestValidityCheckRejectsFalseIntersections(t *testing.T) {
+	// Two objects in diagonal corners create two X runs and two Y runs:
+	// four intersections, two of which are empty and must be discarded by
+	// the validity check.
+	img := newDAVISBitmap()
+	denseBox(img, geometry.NewBox(24, 30, 30, 18))   // bottom-left
+	denseBox(img, geometry.NewBox(168, 120, 30, 18)) // top-right
+	p, err := New(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := p.Propose(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Proposals) != 2 {
+		t.Fatalf("validity check failed: %d proposals, want 2: %+v", len(res.Proposals), res.Proposals)
+	}
+	for _, pr := range res.Proposals {
+		if pr.Pixels == 0 {
+			t.Errorf("proposal %v has no supporting pixels", pr.Box)
+		}
+	}
+}
+
+func TestNoValidityCheckKeepsFalseRegions(t *testing.T) {
+	// With the validity check disabled, the same diagonal scene yields all
+	// four cartesian intersections — this is the failure mode the paper
+	// warns about, pinned here as documentation.
+	img := newDAVISBitmap()
+	denseBox(img, geometry.NewBox(24, 30, 30, 18))
+	denseBox(img, geometry.NewBox(168, 120, 30, 18))
+	cfg := DefaultConfig()
+	cfg.MinValidPixels = 0
+	p, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := p.Propose(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Proposals) != 4 {
+		t.Fatalf("without validity check want 4 cartesian proposals, got %d", len(res.Proposals))
+	}
+}
+
+func TestThresholdSuppressesSparseNoise(t *testing.T) {
+	// Single scattered pixels produce downsampled bins of value 1, which the
+	// threshold (strictly greater than 1) suppresses.
+	img := newDAVISBitmap()
+	img.Set(30, 30)
+	img.Set(90, 120)
+	img.Set(200, 60)
+	p, err := New(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := p.Propose(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Proposals) != 0 {
+		t.Errorf("sparse noise proposed %d regions", len(res.Proposals))
+	}
+}
+
+func TestMinSizeFilter(t *testing.T) {
+	img := newDAVISBitmap()
+	denseBox(img, geometry.NewBox(60, 72, 36, 18))
+	cfg := DefaultConfig()
+	cfg.MinW = 300 // absurd: no proposal can satisfy it
+	p, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := p.Propose(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Proposals) != 0 {
+		t.Error("MinW filter not applied")
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	bad := []Config{
+		{S1: 0, S2: 3},
+		{S1: 6, S2: -1},
+		{S1: 6, S2: 3, Threshold: -1},
+		{S1: 6, S2: 3, MinValidPixels: -5},
+	}
+	for i, cfg := range bad {
+		if _, err := New(cfg); err == nil {
+			t.Errorf("config %d should fail validation: %+v", i, cfg)
+		}
+	}
+}
+
+func TestResultBoxes(t *testing.T) {
+	r := Result{Proposals: []Proposal{
+		{Box: geometry.NewBox(0, 0, 5, 5)},
+		{Box: geometry.NewBox(10, 10, 5, 5)},
+	}}
+	boxes := r.Boxes()
+	if len(boxes) != 2 || boxes[1] != geometry.NewBox(10, 10, 5, 5) {
+		t.Errorf("Boxes = %v", boxes)
+	}
+}
+
+func TestHistogramsExposed(t *testing.T) {
+	img := newDAVISBitmap()
+	denseBox(img, geometry.NewBox(60, 72, 36, 18))
+	p, err := New(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := p.Propose(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.HX) != 240/6 || len(res.HY) != 180/3 {
+		t.Errorf("histogram lengths %d, %d", len(res.HX), len(res.HY))
+	}
+	sum := 0
+	for _, v := range res.HX {
+		sum += v
+	}
+	if sum != 36*18 {
+		t.Errorf("HX total %d, want %d", sum, 36*18)
+	}
+	if len(res.XRuns) != 1 || len(res.YRuns) != 1 {
+		t.Errorf("runs: %v / %v", res.XRuns, res.YRuns)
+	}
+}
+
+func TestCCAProposer(t *testing.T) {
+	img := newDAVISBitmap()
+	a := geometry.NewBox(24, 72, 30, 18)
+	b := geometry.NewBox(168, 100, 30, 18)
+	denseBox(img, a)
+	denseBox(img, b)
+	props := CCAProposer{DilateRadius: 1, MinPixels: 8}.Propose(img)
+	if len(props) != 2 {
+		t.Fatalf("CCA proposed %d regions, want 2", len(props))
+	}
+	// Dilation grows boxes by up to the radius on each side.
+	if props[0].Box.IoU(a) < 0.5 && props[0].Box.IoU(b) < 0.5 {
+		t.Errorf("CCA box %v matches neither object", props[0].Box)
+	}
+}
+
+func TestCCAProposerMinPixels(t *testing.T) {
+	img := newDAVISBitmap()
+	img.Set(10, 10) // lone noise pixel
+	denseBox(img, geometry.NewBox(60, 60, 20, 10))
+	props := CCAProposer{MinPixels: 8}.Propose(img)
+	if len(props) != 1 {
+		t.Fatalf("CCA kept %d regions, want 1 (noise dropped)", len(props))
+	}
+}
+
+func TestCCAFragmentsWithoutDilation(t *testing.T) {
+	// The same fragmented object that the histogram RPN merges splits into
+	// two components under plain CCA — the contrast the ablation measures.
+	img := newDAVISBitmap()
+	denseBox(img, geometry.NewBox(60, 72, 20, 20))
+	denseBox(img, geometry.NewBox(86, 72, 20, 20))
+	props := CCAProposer{MinPixels: 4}.Propose(img)
+	if len(props) != 2 {
+		t.Fatalf("undilated CCA should fragment: got %d proposals", len(props))
+	}
+}
+
+func BenchmarkProposeDAVIS(b *testing.B) {
+	img := newDAVISBitmap()
+	denseBox(img, geometry.NewBox(60, 72, 36, 18))
+	denseBox(img, geometry.NewBox(150, 40, 60, 26))
+	p, err := New(DefaultConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := p.Propose(img); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCCAProposeDAVIS(b *testing.B) {
+	img := newDAVISBitmap()
+	denseBox(img, geometry.NewBox(60, 72, 36, 18))
+	denseBox(img, geometry.NewBox(150, 40, 60, 26))
+	p := CCAProposer{DilateRadius: 1, MinPixels: 8}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = p.Propose(img)
+	}
+}

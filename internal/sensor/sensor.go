@@ -1,0 +1,353 @@
+// Package sensor implements a behavioural simulator for a DAVIS-class
+// neuromorphic vision sensor observing a scene.Scene.
+//
+// The paper's hardware (a 240x180 DAVIS at a traffic junction) is replaced
+// by a model that reproduces the properties every stage of the EBBIOT
+// pipeline depends on:
+//
+//   - change-detection events: a pixel fires only when the local contrast
+//     changes, so moving edges fire strongly, flat object interiors fire
+//     weakly (object fragmentation), and the static background is silent;
+//   - ON/OFF polarity: leading edges of a bright-on-dark object fire ON,
+//     trailing edges OFF;
+//   - background-activity noise: every pixel fires spurious events as a
+//     Poisson process, the salt-and-pepper noise the median / NN filters
+//     must remove;
+//   - a per-pixel refractory period bounding the event rate;
+//   - latched readout: a pixel that has fired is not reset until it is read
+//     out, so the array itself stores an event-based binary image between
+//     processor interrupts (the "sensor as memory" trick of Section II-A).
+//
+// Determinism: all randomness comes from the seeded xrand generator in the
+// config, so a (scene, config) pair always yields the identical event
+// stream.
+package sensor
+
+import (
+	"fmt"
+
+	"ebbiot/internal/events"
+	"ebbiot/internal/geometry"
+	"ebbiot/internal/scene"
+	"ebbiot/internal/xrand"
+)
+
+// Config parameterises the sensor model.
+type Config struct {
+	// Res is the array resolution; defaults to DAVIS240 when zero.
+	Res events.Resolution
+	// NoiseRatePerPixelHz is the background-activity rate per pixel. Real
+	// DAVIS BA noise at indoor bias settings is around 0.1-2 Hz/pixel.
+	NoiseRatePerPixelHz float64
+	// RefractoryUS suppresses a pixel's events for this long after each
+	// fired event (0 disables).
+	RefractoryUS int64
+	// TickUS is the simulation step; object motion is piecewise-constant
+	// within a tick. Must be small relative to the frame period so edges
+	// sweep smoothly; 1000 us default.
+	TickUS int64
+	// Seed drives the deterministic RNG.
+	Seed uint64
+}
+
+// DefaultConfig returns the configuration used by the dataset presets:
+// 1 ms ticks, 1 Hz/pixel background activity and a 300 us refractory
+// period on a DAVIS240 array.
+func DefaultConfig(seed uint64) Config {
+	return Config{
+		Res:                 events.DAVIS240,
+		NoiseRatePerPixelHz: 1.0,
+		RefractoryUS:        300,
+		TickUS:              1000,
+		Seed:                seed,
+	}
+}
+
+func (c *Config) normalize() error {
+	if c.Res.A == 0 && c.Res.B == 0 {
+		c.Res = events.DAVIS240
+	}
+	if err := c.Res.Validate(); err != nil {
+		return err
+	}
+	if c.TickUS <= 0 {
+		c.TickUS = 1000
+	}
+	if c.NoiseRatePerPixelHz < 0 {
+		return fmt.Errorf("sensor: negative noise rate %v", c.NoiseRatePerPixelHz)
+	}
+	return nil
+}
+
+// Simulator produces the event stream a DAVIS would emit while watching the
+// scene. It is stateful: successive calls to Events must use contiguous,
+// forward-moving windows.
+type Simulator struct {
+	cfg Config
+	sc  *scene.Scene
+	rng *xrand.Rand
+	// lastFire[pixel] is the timestamp of the pixel's last event, for the
+	// refractory model. Initialised to a large negative value.
+	lastFire []int64
+	// cursor is the end of the last generated window.
+	cursor int64
+}
+
+// New constructs a simulator for the given scene.
+func New(cfg Config, sc *scene.Scene) (*Simulator, error) {
+	if err := cfg.normalize(); err != nil {
+		return nil, err
+	}
+	if err := sc.Validate(); err != nil {
+		return nil, err
+	}
+	lf := make([]int64, cfg.Res.Pixels())
+	for i := range lf {
+		lf[i] = -1 << 40
+	}
+	return &Simulator{cfg: cfg, sc: sc, rng: xrand.New(cfg.Seed), lastFire: lf}, nil
+}
+
+// Resolution returns the sensor array resolution.
+func (s *Simulator) Resolution() events.Resolution { return s.cfg.Res }
+
+// Cursor returns the end timestamp of the last generated window.
+func (s *Simulator) Cursor() int64 { return s.cursor }
+
+// Events generates the sorted event stream for the window [t0, t1). t0 must
+// equal the current cursor (windows are contiguous) and t1 > t0.
+func (s *Simulator) Events(t0, t1 int64) ([]events.Event, error) {
+	if t0 != s.cursor {
+		return nil, fmt.Errorf("sensor: non-contiguous window start %d, cursor at %d", t0, s.cursor)
+	}
+	if t1 <= t0 {
+		return nil, fmt.Errorf("sensor: empty window [%d,%d)", t0, t1)
+	}
+	var out []events.Event
+	for tick := t0; tick < t1; tick += s.cfg.TickUS {
+		tickEnd := tick + s.cfg.TickUS
+		if tickEnd > t1 {
+			tickEnd = t1
+		}
+		out = s.tick(out, tick, tickEnd)
+	}
+	events.SortByTime(out)
+	out = s.applyRefractory(out)
+	s.cursor = t1
+	return out, nil
+}
+
+// tick appends this tick's candidate events (before refractory filtering).
+func (s *Simulator) tick(out []events.Event, t0, t1 int64) []events.Event {
+	dtSec := float64(t1-t0) / 1e6
+	states := s.sc.At(t0)
+	bounds := geometry.NewBox(0, 0, s.cfg.Res.A, s.cfg.Res.B)
+
+	// Moving objects, far to near; collect near-object masks for occlusion.
+	nearBoxes := make([]geometry.Box, len(states))
+	for i, st := range states {
+		nearBoxes[i] = st.Box.Round()
+	}
+	for i, st := range states {
+		out = s.objectEvents(out, st, nearBoxes[i+1:], bounds, t0, t1, dtSec)
+	}
+
+	// Distractor clutter.
+	for _, d := range s.sc.Distractors {
+		box := d.Box.Clamp(bounds)
+		if box.Empty() || d.RatePerPixelHz <= 0 {
+			continue
+		}
+		mean := d.RatePerPixelHz * float64(box.Area()) * dtSec
+		n := s.rng.Poisson(mean)
+		for k := 0; k < n; k++ {
+			out = append(out, s.randomEventIn(box, t0, t1))
+		}
+	}
+
+	// Background-activity noise over the whole array.
+	if s.cfg.NoiseRatePerPixelHz > 0 {
+		mean := s.cfg.NoiseRatePerPixelHz * float64(s.cfg.Res.Pixels()) * dtSec
+		n := s.rng.Poisson(mean)
+		for k := 0; k < n; k++ {
+			out = append(out, s.randomEventIn(bounds, t0, t1))
+		}
+	}
+	return out
+}
+
+// objectEvents emits the events one moving object produces in a tick:
+// strong responses on its leading and trailing vertical edges and on the
+// horizontal outline, weak texture events in the interior. occluders are
+// the boxes of nearer objects whose pixels mask this object.
+func (s *Simulator) objectEvents(out []events.Event, st scene.State, occluders []geometry.Box, bounds geometry.Box, t0, t1 int64, dtSec float64) []events.Event {
+	box := st.Box.Round().Clamp(bounds)
+	if box.Empty() {
+		return out
+	}
+	speed := st.VX
+	if speed < 0 {
+		speed = -speed
+	}
+	motionPx := speed * dtSec // pixels of motion this tick
+	if motionPx <= 0 {
+		return out
+	}
+
+	occluded := func(x, y int) bool {
+		for _, ob := range occluders {
+			if ob.Contains(x, y) {
+				return true
+			}
+		}
+		return false
+	}
+
+	emit := func(x, y int, p events.Polarity) {
+		if !bounds.Contains(x, y) || occluded(x, y) {
+			return
+		}
+		t := t0 + int64(s.rng.Float64()*float64(t1-t0))
+		out = append(out, events.Event{X: int16(x), Y: int16(y), T: t, P: p})
+	}
+
+	// Leading and trailing vertical edges. For rightward motion the right
+	// edge is leading (ON for a bright object entering dark background) and
+	// the left edge trailing (OFF).
+	leadX, trailX := box.MaxX()-1, box.X
+	leadP, trailP := events.On, events.Off
+	if st.VX < 0 {
+		leadX, trailX = box.X, box.MaxX()-1
+		// Polarity semantics stay with the edge role, not the side.
+	}
+	pEdge := st.EdgeDensity * motionPx
+	for y := box.Y; y < box.MaxY(); y++ {
+		if s.rng.Bool(clampProb(pEdge)) {
+			emit(leadX, y, leadP)
+		}
+		if s.rng.Bool(clampProb(pEdge)) {
+			emit(trailX, y, trailP)
+		}
+	}
+	// Horizontal outline (top and bottom edges) fires at a reduced rate —
+	// contrast changes there only where the outline is not parallel to the
+	// motion, so scale by half.
+	pOutline := clampProb(0.5 * st.EdgeDensity * motionPx)
+	for x := box.X; x < box.MaxX(); x++ {
+		if s.rng.Bool(pOutline) {
+			emit(x, box.MaxY()-1, randomPolarity(s.rng))
+		}
+		if s.rng.Bool(pOutline) {
+			emit(x, box.Y, randomPolarity(s.rng))
+		}
+	}
+	// Interior texture: each interior pixel fires with probability
+	// InteriorDensity per pixel of motion. Large flat-sided vehicles have
+	// low densities, producing the fragmented binary images of Fig. 3.
+	pInt := clampProb(st.InteriorDensity * motionPx)
+	if pInt > 0 {
+		for y := box.Y + 1; y < box.MaxY()-1; y++ {
+			for x := box.X + 1; x < box.MaxX()-1; x++ {
+				if s.rng.Bool(pInt) {
+					emit(x, y, randomPolarity(s.rng))
+				}
+			}
+		}
+	}
+	return out
+}
+
+func clampProb(p float64) float64 {
+	if p > 1 {
+		return 1
+	}
+	if p < 0 {
+		return 0
+	}
+	return p
+}
+
+func randomPolarity(r *xrand.Rand) events.Polarity {
+	if r.Bool(0.5) {
+		return events.On
+	}
+	return events.Off
+}
+
+// randomEventIn returns a uniformly placed event within the box and window.
+func (s *Simulator) randomEventIn(box geometry.Box, t0, t1 int64) events.Event {
+	x := box.X + s.rng.Intn(box.W)
+	y := box.Y + s.rng.Intn(box.H)
+	t := t0 + int64(s.rng.Float64()*float64(t1-t0))
+	return events.Event{X: int16(x), Y: int16(y), T: t, P: randomPolarity(s.rng)}
+}
+
+// applyRefractory drops events that arrive within the refractory period of
+// the same pixel's previous event, mutating lastFire. The input must be
+// sorted by time; filtering is done in place.
+func (s *Simulator) applyRefractory(evs []events.Event) []events.Event {
+	if s.cfg.RefractoryUS <= 0 {
+		return evs
+	}
+	out := evs[:0]
+	for _, e := range evs {
+		idx := int(e.Y)*s.cfg.Res.A + int(e.X)
+		if e.T-s.lastFire[idx] < s.cfg.RefractoryUS {
+			continue
+		}
+		s.lastFire[idx] = e.T
+		out = append(out, e)
+	}
+	return out
+}
+
+// Latch models the sensor's no-reset-until-readout behaviour: events
+// accumulate as set bits in the pixel array while the processor sleeps, and
+// a readout returns the binary image and clears it. This is the mechanism
+// that lets EBBIOT reuse the sensor as its frame memory.
+type Latch struct {
+	// bits is the latched binary state, row major.
+	bits []uint8
+	res  events.Resolution
+}
+
+// NewLatch returns an empty latch for the given resolution.
+func NewLatch(res events.Resolution) *Latch {
+	return &Latch{bits: make([]uint8, res.Pixels()), res: res}
+}
+
+// Accumulate latches every event's pixel. Polarity is ignored: the EBBI is
+// binary (Section II-A).
+func (l *Latch) Accumulate(evs []events.Event) {
+	for _, e := range evs {
+		if l.res.Contains(int(e.X), int(e.Y)) {
+			l.bits[int(e.Y)*l.res.A+int(e.X)] = 1
+		}
+	}
+}
+
+// ReadOut copies the latched image into dst (a slice of length A*B, row
+// major) and resets the latch, mirroring the destructive readout of the
+// sensor array. It returns the number of set pixels.
+func (l *Latch) ReadOut(dst []uint8) int {
+	n := 0
+	for i, b := range l.bits {
+		dst[i] = b
+		if b != 0 {
+			n++
+		}
+		l.bits[i] = 0
+	}
+	return n
+}
+
+// SetCount returns the number of currently latched pixels without resetting.
+func (l *Latch) SetCount() int {
+	n := 0
+	for _, b := range l.bits {
+		if b != 0 {
+			n++
+		}
+	}
+	return n
+}

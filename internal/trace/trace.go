@@ -1,0 +1,107 @@
+// Package trace collects per-frame pipeline statistics — event counts,
+// proposal counts, reported and active tracks — and summarises them into
+// the scene constants the paper's resource models take as inputs: NT (mean
+// valid trackers, Eq. 6) and the per-frame event rates behind Eq. 2 and
+// Eq. 8. The cmd/ebbiot-run tool can dump a trace as CSV for offline
+// analysis.
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+)
+
+// FrameStat is one frame's statistics.
+type FrameStat struct {
+	// Frame is the frame index; EndUS its window end.
+	Frame int
+	EndUS int64
+	// Events is the number of raw sensor events in the window.
+	Events int
+	// Proposals is the number of region proposals (0 when unknown).
+	Proposals int
+	// Reported is the number of confirmed track boxes output.
+	Reported int
+	// Active is the number of live (confirmed or tentative) tracks.
+	Active int
+}
+
+// Collector accumulates frame statistics.
+type Collector struct {
+	stats []FrameStat
+}
+
+// Record appends one frame's statistics.
+func (c *Collector) Record(fs FrameStat) {
+	c.stats = append(c.stats, fs)
+}
+
+// Stats returns the recorded statistics (shared slice; callers must not
+// mutate).
+func (c *Collector) Stats() []FrameStat { return c.stats }
+
+// Len returns the number of recorded frames.
+func (c *Collector) Len() int { return len(c.stats) }
+
+// Summary aggregates a trace.
+type Summary struct {
+	Frames int
+	// MeanEvents is the mean raw events per frame (the n of Eq. 2 before
+	// the conservative β α A B estimate).
+	MeanEvents float64
+	// MeanProposals is the mean region proposals per frame.
+	MeanProposals float64
+	// MeanActive is the mean live tracks per frame — the NT of Eq. 6.
+	MeanActive float64
+	// MaxActive is the peak concurrent tracks (must stay <= NT pool size).
+	MaxActive int
+	// MeanReported is the mean confirmed boxes per frame.
+	MeanReported float64
+}
+
+// Summarize reduces the trace to its summary.
+func (c *Collector) Summarize() Summary {
+	var s Summary
+	s.Frames = len(c.stats)
+	if s.Frames == 0 {
+		return s
+	}
+	var ev, pr, ac, rp int
+	for _, fs := range c.stats {
+		ev += fs.Events
+		pr += fs.Proposals
+		ac += fs.Active
+		rp += fs.Reported
+		if fs.Active > s.MaxActive {
+			s.MaxActive = fs.Active
+		}
+	}
+	n := float64(s.Frames)
+	s.MeanEvents = float64(ev) / n
+	s.MeanProposals = float64(pr) / n
+	s.MeanActive = float64(ac) / n
+	s.MeanReported = float64(rp) / n
+	return s
+}
+
+// Header is the CSV header emitted by WriteCSV.
+const Header = "frame,end_us,events,proposals,reported,active"
+
+// WriteCSV encodes the trace as CSV.
+func WriteCSV(w io.Writer, stats []FrameStat) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintln(bw, Header); err != nil {
+		return fmt.Errorf("trace: writing header: %w", err)
+	}
+	for _, fs := range stats {
+		if _, err := fmt.Fprintf(bw, "%d,%d,%d,%d,%d,%d\n",
+			fs.Frame, fs.EndUS, fs.Events, fs.Proposals, fs.Reported, fs.Active); err != nil {
+			return fmt.Errorf("trace: writing frame %d: %w", fs.Frame, err)
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		return fmt.Errorf("trace: flushing: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,64 @@
+package trace
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestCollectorAndSummary(t *testing.T) {
+	var c Collector
+	c.Record(FrameStat{Frame: 0, EndUS: 66_000, Events: 100, Proposals: 2, Reported: 1, Active: 2})
+	c.Record(FrameStat{Frame: 1, EndUS: 132_000, Events: 200, Proposals: 4, Reported: 3, Active: 4})
+	if c.Len() != 2 {
+		t.Fatalf("Len = %d", c.Len())
+	}
+	s := c.Summarize()
+	if s.Frames != 2 {
+		t.Errorf("Frames = %d", s.Frames)
+	}
+	if math.Abs(s.MeanEvents-150) > 1e-9 {
+		t.Errorf("MeanEvents = %v", s.MeanEvents)
+	}
+	if math.Abs(s.MeanProposals-3) > 1e-9 {
+		t.Errorf("MeanProposals = %v", s.MeanProposals)
+	}
+	if math.Abs(s.MeanActive-3) > 1e-9 {
+		t.Errorf("MeanActive = %v", s.MeanActive)
+	}
+	if s.MaxActive != 4 {
+		t.Errorf("MaxActive = %d", s.MaxActive)
+	}
+	if math.Abs(s.MeanReported-2) > 1e-9 {
+		t.Errorf("MeanReported = %v", s.MeanReported)
+	}
+}
+
+func TestEmptySummary(t *testing.T) {
+	var c Collector
+	s := c.Summarize()
+	if s.Frames != 0 || s.MeanEvents != 0 || s.MaxActive != 0 {
+		t.Errorf("empty summary = %+v", s)
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	var c Collector
+	c.Record(FrameStat{Frame: 0, EndUS: 66_000, Events: 10, Proposals: 1, Reported: 1, Active: 1})
+	c.Record(FrameStat{Frame: 1, EndUS: 132_000, Events: 20, Proposals: 2, Reported: 2, Active: 2})
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, c.Stats()); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("got %d lines", len(lines))
+	}
+	if lines[0] != Header {
+		t.Errorf("header = %q", lines[0])
+	}
+	if lines[1] != "0,66000,10,1,1,1" || lines[2] != "1,132000,20,2,2,2" {
+		t.Errorf("rows = %q, %q", lines[1], lines[2])
+	}
+}

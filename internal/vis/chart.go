@@ -1,0 +1,80 @@
+package vis
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Series is one named curve for Chart.
+type Series struct {
+	Name string
+	// X and Y must have equal length.
+	X, Y []float64
+}
+
+// Chart renders one or more series as an ASCII scatter/line chart of the
+// given size, used by cmd/ebbiot-eval to draw the Fig. 4 curves in the
+// terminal. Each series is plotted with its own marker ('A' for the first,
+// 'B' for the second, ...); coincident points show the later series'
+// marker.
+func Chart(series []Series, width, height int) (string, error) {
+	if width < 10 || height < 4 {
+		return "", fmt.Errorf("vis: chart too small (%dx%d)", width, height)
+	}
+	if len(series) == 0 {
+		return "", fmt.Errorf("vis: no series")
+	}
+	if len(series) > 26 {
+		return "", fmt.Errorf("vis: too many series (%d)", len(series))
+	}
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	for _, s := range series {
+		if len(s.X) != len(s.Y) {
+			return "", fmt.Errorf("vis: series %q has %d x values and %d y values", s.Name, len(s.X), len(s.Y))
+		}
+		for i := range s.X {
+			minX = math.Min(minX, s.X[i])
+			maxX = math.Max(maxX, s.X[i])
+			minY = math.Min(minY, s.Y[i])
+			maxY = math.Max(maxY, s.Y[i])
+		}
+	}
+	if math.IsInf(minX, 1) {
+		return "", fmt.Errorf("vis: all series empty")
+	}
+	if maxX == minX {
+		maxX = minX + 1
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+
+	grid := make([][]byte, height)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", width))
+	}
+	for si, s := range series {
+		marker := byte('A' + si)
+		for i := range s.X {
+			cx := int(math.Round((s.X[i] - minX) / (maxX - minX) * float64(width-1)))
+			cy := int(math.Round((s.Y[i] - minY) / (maxY - minY) * float64(height-1)))
+			grid[height-1-cy][cx] = marker
+		}
+	}
+
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%8.3f +%s\n", maxY, strings.Repeat("-", width))
+	for _, row := range grid {
+		sb.WriteString("         |")
+		sb.Write(row)
+		sb.WriteByte('\n')
+	}
+	fmt.Fprintf(&sb, "%8.3f +%s\n", minY, strings.Repeat("-", width))
+	fmt.Fprintf(&sb, "          %-8.3f%s%8.3f\n", minX, strings.Repeat(" ", max(width-16, 1)), maxX)
+	for si, s := range series {
+		fmt.Fprintf(&sb, "          %c = %s\n", 'A'+si, s.Name)
+	}
+	return sb.String(), nil
+}

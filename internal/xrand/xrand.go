@@ -1,0 +1,165 @@
+// Package xrand implements a small, fast, deterministic pseudo-random number
+// generator used by the dataset synthesiser and the sensor noise model.
+//
+// The standard library's math/rand is avoided so that generated recordings
+// are reproducible byte-for-byte across Go releases: math/rand's stream is
+// not guaranteed stable between versions, while this package's SplitMix64 /
+// xoshiro256** pair is a fixed published algorithm.
+package xrand
+
+import "math"
+
+// splitMix64 advances the given state and returns the next output of the
+// SplitMix64 generator (Steele, Lea & Flood 2014). It is used only to seed
+// xoshiro256**.
+func splitMix64(state *uint64) uint64 {
+	*state += 0x9e3779b97f4a7c15
+	z := *state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Rand is a deterministic xoshiro256** generator. The zero value is not
+// usable; construct with New.
+type Rand struct {
+	s [4]uint64
+	// spare Gaussian from the last Box-Muller pair, if any.
+	gauss    float64
+	hasGauss bool
+}
+
+// New returns a generator seeded from the given seed via SplitMix64, as
+// recommended by the xoshiro authors.
+func New(seed uint64) *Rand {
+	var r Rand
+	sm := seed
+	for i := range r.s {
+		r.s[i] = splitMix64(&sm)
+	}
+	// A xoshiro state of all zeros would be a fixed point; SplitMix64 cannot
+	// produce four zero outputs in a row, so no further check is needed.
+	return &r
+}
+
+func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
+
+// Uint64 returns the next 64 uniformly distributed bits.
+func (r *Rand) Uint64() uint64 {
+	result := rotl(r.s[1]*5, 7) * 9
+	t := r.s[1] << 17
+	r.s[2] ^= r.s[0]
+	r.s[3] ^= r.s[1]
+	r.s[1] ^= r.s[2]
+	r.s[0] ^= r.s[3]
+	r.s[2] ^= t
+	r.s[3] = rotl(r.s[3], 45)
+	return result
+}
+
+// Intn returns a uniform integer in [0, n). It panics if n <= 0.
+func (r *Rand) Intn(n int) int {
+	if n <= 0 {
+		panic("xrand: Intn called with n <= 0")
+	}
+	// Lemire's nearly-divisionless bounded generation would be faster, but
+	// simple modulo with rejection keeps the stream easy to reason about.
+	bound := uint64(n)
+	threshold := (-bound) % bound // 2^64 mod n
+	for {
+		v := r.Uint64()
+		if v >= threshold {
+			return int(v % bound)
+		}
+	}
+}
+
+// Int63 returns a non-negative 63-bit integer.
+func (r *Rand) Int63() int64 { return int64(r.Uint64() >> 1) }
+
+// Float64 returns a uniform float64 in [0, 1) with 53 bits of precision.
+func (r *Rand) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Range returns a uniform float64 in [lo, hi).
+func (r *Rand) Range(lo, hi float64) float64 {
+	return lo + (hi-lo)*r.Float64()
+}
+
+// IntRange returns a uniform integer in [lo, hi]. It panics if hi < lo.
+func (r *Rand) IntRange(lo, hi int) int {
+	if hi < lo {
+		panic("xrand: IntRange called with hi < lo")
+	}
+	return lo + r.Intn(hi-lo+1)
+}
+
+// Bool returns true with probability p.
+func (r *Rand) Bool(p float64) bool { return r.Float64() < p }
+
+// NormFloat64 returns a standard normal variate using the Box-Muller
+// transform (polar form avoided for stream stability — trig form consumes a
+// fixed two uniforms per pair).
+func (r *Rand) NormFloat64() float64 {
+	if r.hasGauss {
+		r.hasGauss = false
+		return r.gauss
+	}
+	// Avoid log(0) by shifting u1 into (0, 1].
+	u1 := 1 - r.Float64()
+	u2 := r.Float64()
+	mag := math.Sqrt(-2 * math.Log(u1))
+	r.gauss = mag * math.Sin(2*math.Pi*u2)
+	r.hasGauss = true
+	return mag * math.Cos(2*math.Pi*u2)
+}
+
+// ExpFloat64 returns an exponential variate with rate 1 (mean 1). Scale by
+// 1/lambda for other rates; used for Poisson-process inter-arrival times in
+// the sensor noise model.
+func (r *Rand) ExpFloat64() float64 {
+	// Shift into (0, 1] so the log is finite.
+	return -math.Log(1 - r.Float64())
+}
+
+// Poisson returns a Poisson variate with the given mean using Knuth's
+// multiplication method for small means and a normal approximation above 30,
+// which is ample for the per-patch event counts the simulator draws.
+func (r *Rand) Poisson(mean float64) int {
+	if mean <= 0 {
+		return 0
+	}
+	if mean > 30 {
+		v := mean + math.Sqrt(mean)*r.NormFloat64()
+		if v < 0 {
+			return 0
+		}
+		return int(v + 0.5)
+	}
+	limit := math.Exp(-mean)
+	k := 0
+	p := 1.0
+	for {
+		p *= r.Float64()
+		if p <= limit {
+			return k
+		}
+		k++
+	}
+}
+
+// Shuffle permutes the first n elements using swap, via Fisher-Yates.
+func (r *Rand) Shuffle(n int, swap func(i, j int)) {
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		swap(i, j)
+	}
+}
+
+// Fork returns a new generator deterministically derived from this one's
+// stream, so independent subsystems (noise, trajectories, textures) can
+// consume randomness without perturbing each other's sequences.
+func (r *Rand) Fork() *Rand {
+	return New(r.Uint64())
+}
