@@ -1,0 +1,20 @@
+GO ?= go
+
+.PHONY: build test race bench vet check
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -run xxx -bench . -benchmem ./...
+
+vet:
+	$(GO) vet ./...
+
+check: build vet test

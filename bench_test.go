@@ -13,6 +13,7 @@
 package ebbiot_test
 
 import (
+	"context"
 	"testing"
 
 	"ebbiot/internal/core"
@@ -26,6 +27,7 @@ import (
 	"ebbiot/internal/imgproc"
 	"ebbiot/internal/kalman"
 	"ebbiot/internal/metrics"
+	"ebbiot/internal/pipeline"
 	"ebbiot/internal/resources"
 	"ebbiot/internal/roe"
 	"ebbiot/internal/rpn"
@@ -621,6 +623,62 @@ func BenchmarkExtension_TwoTimescale(b *testing.B) {
 	}
 	b.ReportMetric(base, "human-recall-base")
 	b.ReportMetric(two, "human-recall-2ts")
+}
+
+// ---------------------------------------------------------------------------
+// E12 — extension: streaming pipeline runtime. Multi-sensor sharded Runner
+// throughput versus worker count (events/s, windows/s), the production-scale
+// deployment mode the cmd/ebbiot-run -sensors/-workers flags expose.
+// ---------------------------------------------------------------------------
+
+func BenchmarkPipeline_MultiSensorRunner(b *testing.B) {
+	sc := scene.SingleObjectScene(events.DAVIS240, 2_000_000)
+	sim, err := sensor.New(sensor.DefaultConfig(3), sc)
+	if err != nil {
+		b.Fatal(err)
+	}
+	evs, err := sim.Events(0, sc.DurationUS)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, workers := range []int{1, 4} {
+		workers := workers
+		name := "workers=1"
+		if workers != 1 {
+			name = "workers=4"
+		}
+		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				const sensors = 4
+				streams := make([]pipeline.Stream, sensors)
+				for k := range streams {
+					src, err := pipeline.NewSliceSource(evs)
+					if err != nil {
+						b.Fatal(err)
+					}
+					sys, err := core.NewEBBIOT(core.DefaultConfig())
+					if err != nil {
+						b.Fatal(err)
+					}
+					streams[k] = pipeline.Stream{Source: src, System: sys}
+				}
+				runner, err := pipeline.NewRunner(pipeline.Config{FrameUS: 66_000, Workers: workers})
+				if err != nil {
+					b.Fatal(err)
+				}
+				stats, err := runner.Run(context.Background(), streams, nil)
+				if err != nil {
+					b.Fatal(err)
+				}
+				for k := range streams {
+					streams[k].System.(*core.EBBIOT).Close()
+				}
+				b.ReportMetric(stats.EventsPerSec()/1e6, "Mevents/s")
+				b.ReportMetric(stats.WindowsPerSec(), "windows/s")
+			}
+		})
+	}
 }
 
 // ---------------------------------------------------------------------------

@@ -2,9 +2,12 @@
 // EBMS over synthetic ENG and LT4 replicas and prints the weighted-average
 // precision/recall at each IoU threshold.
 //
+// The 3 systems x 2 recordings grid is sharded across pipeline workers;
+// scores are identical for any -workers value.
+//
 // Usage:
 //
-//	ebbiot-eval [-seconds 25] [-seed 11]
+//	ebbiot-eval [-seconds 25] [-seed 11] [-workers 0]
 package main
 
 import (
@@ -30,6 +33,7 @@ func main() {
 func run() error {
 	seconds := flag.Float64("seconds", 25, "replica length per recording in seconds")
 	seed := flag.Uint64("seed", 11, "generator seed")
+	workers := flag.Int("workers", 0, "worker goroutines sharding the system x recording grid (0 = one per CPU)")
 	flag.Parse()
 	if *seconds <= 0 {
 		return fmt.Errorf("-seconds must be positive")
@@ -55,7 +59,9 @@ func run() error {
 		{Name: "ENG", Preset: dataset.ENG, Scale: *seconds / 2998.4, Seed: *seed},
 		{Name: "LT4", Preset: dataset.LT4, Scale: *seconds / 999.5, Seed: *seed + 2},
 	}
-	results, err := eval.CompareSystems(factories, recs, metrics.DefaultThresholds(), eval.DefaultOptions())
+	opt := eval.DefaultOptions()
+	opt.Workers = *workers
+	results, err := eval.CompareSystems(factories, recs, metrics.DefaultThresholds(), opt)
 	if err != nil {
 		return err
 	}

@@ -1,21 +1,31 @@
 // Command ebbiot-run replays a recorded AER file through one of the three
-// tracking pipelines and prints the per-frame track boxes (CSV to stdout).
+// tracking pipelines via the streaming pipeline runtime and prints the
+// per-frame track boxes (CSV to stdout, one row per box, with a sensor
+// column).
+//
+// With -sensors N > 1 the recording is decoded once and replayed as N
+// independent sensor streams sharded across -workers worker goroutines —
+// each stream drives its own system instance — which exercises the
+// multi-sensor Runner and measures aggregate throughput. A summary with
+// events/s and windows/s is printed to stderr either way.
 //
 // Usage:
 //
 //	ebbiot-run -in eng.aer [-system EBBIOT|KF|EBMS] [-frame-ms 66]
+//	           [-sensors N] [-workers M] [-stats stats.csv] [-json]
 package main
 
 import (
-	"errors"
+	"context"
 	"flag"
 	"fmt"
-	"io"
 	"os"
 	"strings"
 
 	"ebbiot/internal/aedat"
 	"ebbiot/internal/core"
+	"ebbiot/internal/events"
+	"ebbiot/internal/pipeline"
 	"ebbiot/internal/trace"
 )
 
@@ -26,83 +36,129 @@ func main() {
 	}
 }
 
+// newSystem builds one fresh pipeline instance (each sensor stream needs its
+// own: systems are stateful).
+func newSystem(name string, res events.Resolution) (core.System, error) {
+	switch strings.ToUpper(name) {
+	case "EBBIOT":
+		return core.NewEBBIOT(core.DefaultConfig())
+	case "KF", "EBBI+KF":
+		return core.NewEBBIKF(core.DefaultKFConfig())
+	case "EBMS":
+		cfg := core.DefaultEBMSConfig()
+		cfg.Res = res
+		return core.NewEBMS(cfg)
+	default:
+		return nil, fmt.Errorf("unknown system %q", name)
+	}
+}
+
 func run() error {
 	in := flag.String("in", "", "input AER file (required)")
 	sysName := flag.String("system", "EBBIOT", "pipeline: EBBIOT, KF or EBMS")
 	frameMS := flag.Int64("frame-ms", 66, "frame duration tF in milliseconds")
-	statsPath := flag.String("stats", "", "optional per-frame statistics CSV output")
+	statsPath := flag.String("stats", "", "optional per-frame statistics CSV output (first sensor)")
+	sensors := flag.Int("sensors", 1, "number of independent sensor streams replaying the recording")
+	workers := flag.Int("workers", 0, "worker goroutines sharding the streams (0 = one per CPU)")
+	jsonOut := flag.Bool("json", false, "emit JSON Lines snapshots instead of CSV rows")
 	flag.Parse()
 
 	if *in == "" {
 		return fmt.Errorf("-in is required")
+	}
+	if *sensors < 1 {
+		return fmt.Errorf("-sensors must be at least 1")
 	}
 	f, err := os.Open(*in)
 	if err != nil {
 		return err
 	}
 	defer f.Close()
-	r, err := aedat.NewReader(f)
-	if err != nil {
-		return err
-	}
 
-	var sys core.System
-	switch strings.ToUpper(*sysName) {
-	case "EBBIOT":
-		sys, err = core.NewEBBIOT(core.DefaultConfig())
-	case "KF", "EBBI+KF":
-		sys, err = core.NewEBBIKF(core.DefaultKFConfig())
-	case "EBMS":
-		cfg := core.DefaultEBMSConfig()
-		cfg.Res = r.Resolution()
-		sys, err = core.NewEBMS(cfg)
-	default:
-		return fmt.Errorf("unknown system %q", *sysName)
-	}
-	if err != nil {
-		return err
-	}
-
-	fmt.Println("frame,end_us,box_x,box_y,box_w,box_h")
-	frameUS := *frameMS * 1000
-	frame := 0
-	var collector trace.Collector
-	for {
-		end := int64(frame+1) * frameUS
-		evs, werr := r.NextWindow(end)
-		boxes, perr := sys.ProcessWindow(evs)
-		if perr != nil {
-			return perr
+	// One stream per sensor. A single sensor streams the file incrementally;
+	// replicated sensors decode it once and shard in-memory slices.
+	var streams []pipeline.Stream
+	collectors := make([]trace.Collector, *sensors)
+	var res events.Resolution
+	if *sensors == 1 {
+		r, err := aedat.NewReader(f)
+		if err != nil {
+			return err
 		}
-		for _, b := range boxes {
-			fmt.Printf("%d,%d,%d,%d,%d,%d\n", frame, end, b.X, b.Y, b.W, b.H)
+		res = r.Resolution()
+		streams = append(streams, pipeline.Stream{Source: pipeline.NewAEDATSource(r)})
+	} else {
+		var evs []events.Event
+		res, evs, err = aedat.Read(f)
+		if err != nil {
+			return err
 		}
-		fs := trace.FrameStat{Frame: frame, EndUS: end, Events: len(evs), Reported: len(boxes)}
-		if eb, ok := sys.(*core.EBBIOT); ok {
-			fs.Proposals = len(eb.LastRPN().Proposals)
-			fs.Active = eb.Tracker().ActiveTracks()
-		}
-		collector.Record(fs)
-		frame++
-		if werr != nil {
-			if errors.Is(werr, io.EOF) {
-				break
+		for i := 0; i < *sensors; i++ {
+			src, err := pipeline.NewSliceSource(evs)
+			if err != nil {
+				return err
 			}
-			return werr
+			streams = append(streams, pipeline.Stream{Source: src})
 		}
 	}
+	for i := range streams {
+		sys, err := newSystem(*sysName, res)
+		if err != nil {
+			return err
+		}
+		streams[i].System = sys
+		col := &collectors[i]
+		streams[i].Observer = func(snap pipeline.TrackSnapshot, sys core.System) error {
+			fs := trace.FrameStat{Frame: snap.Frame, EndUS: snap.EndUS, Events: snap.Events, Reported: len(snap.Boxes)}
+			if eb, ok := sys.(*core.EBBIOT); ok {
+				fs.Proposals = len(eb.LastRPN().Proposals)
+				fs.Active = eb.Tracker().ActiveTracks()
+			}
+			col.Record(fs)
+			return nil
+		}
+	}
+
+	var sink pipeline.Sink
+	var flush func() error
+	if *jsonOut {
+		js := pipeline.NewJSONSink(os.Stdout)
+		sink, flush = js, js.Flush
+	} else {
+		cs, err := pipeline.NewCSVSink(os.Stdout)
+		if err != nil {
+			return err
+		}
+		sink, flush = cs, cs.Flush
+	}
+
+	runner, err := pipeline.NewRunner(pipeline.Config{FrameUS: *frameMS * 1000, Workers: *workers})
+	if err != nil {
+		return err
+	}
+	stats, err := runner.Run(context.Background(), streams, sink)
+	if err != nil {
+		return err
+	}
+	if err := flush(); err != nil {
+		return err
+	}
+
 	if *statsPath != "" {
 		sf, err := os.Create(*statsPath)
 		if err != nil {
 			return err
 		}
 		defer sf.Close()
-		if err := trace.WriteCSV(sf, collector.Stats()); err != nil {
+		if err := trace.WriteCSV(sf, collectors[0].Stats()); err != nil {
 			return err
 		}
 	}
-	sum := collector.Summarize()
-	fmt.Fprintf(os.Stderr, "%s processed %d frames: mean events/frame %.0f, mean proposals %.2f, mean active tracks (NT) %.2f, peak %d\n",
-		sys.Name(), sum.Frames, sum.MeanEvents, sum.MeanProposals, sum.MeanActive, sum.MaxActive)
+
+	sum := collectors[0].Summarize()
+	fmt.Fprintf(os.Stderr, "%s processed %d frames/sensor: mean events/frame %.0f, mean proposals %.2f, mean active tracks (NT) %.2f, peak %d\n",
+		strings.ToUpper(*sysName), sum.Frames, sum.MeanEvents, sum.MeanProposals, sum.MeanActive, sum.MaxActive)
+	fmt.Fprintf(os.Stderr, "throughput: %d sensors x %d workers: %d windows (%.0f windows/s), %d events (%.3g events/s) in %v\n",
+		stats.Streams, stats.Workers, stats.Windows, stats.WindowsPerSec(), stats.Events, stats.EventsPerSec(), stats.Elapsed.Round(1e6))
 	return nil
 }

@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"time"
@@ -15,6 +16,7 @@ import (
 	"ebbiot/internal/core"
 	"ebbiot/internal/ebbi"
 	"ebbiot/internal/events"
+	"ebbiot/internal/pipeline"
 	"ebbiot/internal/scene"
 	"ebbiot/internal/sensor"
 )
@@ -38,24 +40,32 @@ func run() error {
 		return err
 	}
 
+	// The runner's per-window ProcUS timestamps measure exactly the active
+	// slice of the duty cycle: the sensor (source) side is not part of the
+	// processor's wake time.
 	const frameUS = 66_000
-	var busy time.Duration
+	var busyUS int64
 	var frames int
 	var totalEvents int
-	for cursor := int64(0); cursor+frameUS <= sc.DurationUS; cursor += frameUS {
-		evs, err := sim.Events(cursor, cursor+frameUS)
-		if err != nil {
-			return err
-		}
-		totalEvents += len(evs)
-		start := time.Now()
-		if _, err := sys.ProcessWindow(evs); err != nil {
-			return err
-		}
-		busy += time.Since(start)
-		frames++
+	src, err := pipeline.NewSceneSource(sim, sc.DurationUS)
+	if err != nil {
+		return err
 	}
-	perFrame := busy / time.Duration(frames)
+	runner, err := pipeline.NewRunner(pipeline.Config{FrameUS: frameUS})
+	if err != nil {
+		return err
+	}
+	observe := func(snap pipeline.TrackSnapshot, _ core.System) error {
+		totalEvents += snap.Events
+		busyUS += snap.ProcUS
+		frames++
+		return nil
+	}
+	if _, err := runner.Run(context.Background(),
+		[]pipeline.Stream{{Name: "dutycycle", Source: src, System: sys, Observer: observe}}, nil); err != nil {
+		return err
+	}
+	perFrame := time.Duration(busyUS/int64(frames)) * time.Microsecond
 
 	fmt.Printf("frames: %d, events: %d (%.0f/frame), mean processing: %v/frame\n",
 		frames, totalEvents, float64(totalEvents)/float64(frames), perFrame)

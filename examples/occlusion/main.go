@@ -7,11 +7,13 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"os"
 
 	"ebbiot/internal/core"
 	"ebbiot/internal/events"
+	"ebbiot/internal/pipeline"
 	"ebbiot/internal/scene"
 	"ebbiot/internal/sensor"
 )
@@ -58,15 +60,10 @@ func trackCrossing(occlusionHandling bool) (int, error) {
 	const frameUS = 66_000
 	before := map[int]bool{} // IDs confirmed before the crossing
 	after := map[int]bool{}  // IDs reported after separation
-	for cursor := int64(0); cursor+frameUS <= sc.DurationUS; cursor += frameUS {
-		evs, err := sim.Events(cursor, cursor+frameUS)
-		if err != nil {
-			return 0, err
-		}
-		if _, err := sys.ProcessWindow(evs); err != nil {
-			return 0, err
-		}
-		for _, tr := range sys.Tracker().Tracks() {
+	observe := func(snap pipeline.TrackSnapshot, s core.System) error {
+		eb := s.(*core.EBBIOT)
+		cursor := snap.StartUS
+		for _, tr := range eb.Tracker().Tracks() {
 			if !tr.Confirmed(cfg.Tracker.MinHits) {
 				continue
 			}
@@ -82,9 +79,22 @@ func trackCrossing(occlusionHandling bool) (int, error) {
 			overlap := states[0].Box.IntersectionArea(states[1].Box)
 			if overlap > 0 && cursor%330_000 == 0 {
 				fmt.Printf("  t=%.2fs objects overlap by %.0f px^2, active tracks: %d\n",
-					float64(cursor)/1e6, overlap, sys.Tracker().ActiveTracks())
+					float64(cursor)/1e6, overlap, eb.Tracker().ActiveTracks())
 			}
 		}
+		return nil
+	}
+	src, err := pipeline.NewSceneSource(sim, sc.DurationUS)
+	if err != nil {
+		return 0, err
+	}
+	runner, err := pipeline.NewRunner(pipeline.Config{FrameUS: frameUS})
+	if err != nil {
+		return 0, err
+	}
+	if _, err := runner.Run(context.Background(),
+		[]pipeline.Stream{{Name: "crossing", Source: src, System: sys, Observer: observe}}, nil); err != nil {
+		return 0, err
 	}
 	survived := 0
 	for id := range before {

@@ -8,11 +8,13 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"os"
 
 	"ebbiot/internal/core"
 	"ebbiot/internal/events"
+	"ebbiot/internal/pipeline"
 	"ebbiot/internal/scene"
 	"ebbiot/internal/sensor"
 )
@@ -52,21 +54,13 @@ func recallByKind(sys core.System, seed uint64) (human, car float64, err error) 
 		return 0, 0, err
 	}
 	var hHit, hTot, cHit, cTot int
-	for cursor := int64(0); cursor+66_000 <= sc.DurationUS; cursor += 66_000 {
-		evs, err := sim.Events(cursor, cursor+66_000)
-		if err != nil {
-			return 0, 0, err
+	observe := func(snap pipeline.TrackSnapshot, _ core.System) error {
+		if snap.StartUS < 1_000_000 {
+			return nil
 		}
-		boxes, err := sys.ProcessWindow(evs)
-		if err != nil {
-			return 0, 0, err
-		}
-		if cursor < 1_000_000 {
-			continue
-		}
-		for _, g := range sc.GroundTruth(cursor+66_000, 20) {
+		for _, g := range sc.GroundTruth(snap.EndUS, 20) {
 			matched := false
-			for _, b := range boxes {
+			for _, b := range snap.Boxes {
 				if b.IoU(g.Box) > 0.3 {
 					matched = true
 					break
@@ -84,6 +78,19 @@ func recallByKind(sys core.System, seed uint64) (human, car float64, err error) 
 				}
 			}
 		}
+		return nil
+	}
+	src, err := pipeline.NewSceneSource(sim, sc.DurationUS)
+	if err != nil {
+		return 0, 0, err
+	}
+	runner, err := pipeline.NewRunner(pipeline.Config{FrameUS: 66_000})
+	if err != nil {
+		return 0, 0, err
+	}
+	if _, err := runner.Run(context.Background(),
+		[]pipeline.Stream{{Name: "mixed", Source: src, System: sys, Observer: observe}}, nil); err != nil {
+		return 0, 0, err
 	}
 	return float64(hHit) / float64(hTot), float64(cHit) / float64(cTot), nil
 }

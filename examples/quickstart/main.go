@@ -1,15 +1,22 @@
 // Quickstart: simulate a single car crossing the DAVIS field of view, run
-// the full EBBIOT pipeline on it, and render the Fig. 3 artefacts — the
-// event-based binary image, its X/Y histograms and the resulting region
-// proposal — plus the live track box, as ASCII.
+// the full EBBIOT pipeline on it through the streaming runtime, and render
+// the Fig. 3 artefacts — the event-based binary image, its X/Y histograms
+// and the resulting region proposal — plus the live track box, as ASCII.
+//
+// The per-window inspection happens in a pipeline Observer, which runs
+// synchronously between windows and may therefore read the system's
+// window-scoped internals (LastFrame/LastRPN alias buffers the next window
+// overwrites).
 package main
 
 import (
+	"context"
 	"fmt"
 	"os"
 
 	"ebbiot/internal/core"
 	"ebbiot/internal/events"
+	"ebbiot/internal/pipeline"
 	"ebbiot/internal/scene"
 	"ebbiot/internal/sensor"
 	"ebbiot/internal/vis"
@@ -36,30 +43,34 @@ func run() error {
 	}
 
 	const frameUS = 66_000
-	for cursor := int64(0); cursor+frameUS <= sc.DurationUS; cursor += frameUS {
-		evs, err := sim.Events(cursor, cursor+frameUS)
-		if err != nil {
-			return err
-		}
-		boxes, err := sys.ProcessWindow(evs)
-		if err != nil {
-			return err
-		}
+	src, err := pipeline.NewSceneSource(sim, sc.DurationUS)
+	if err != nil {
+		return err
+	}
+	runner, err := pipeline.NewRunner(pipeline.Config{FrameUS: frameUS})
+	if err != nil {
+		return err
+	}
+	observe := func(snap pipeline.TrackSnapshot, s core.System) error {
+		eb := s.(*core.EBBIOT)
 		// Render one mid-crossing frame in detail (the Fig. 3 moment).
-		if cursor == 1_980_000 {
-			frame := sys.LastFrame()
-			res := sys.LastRPN()
+		if snap.StartUS == 1_980_000 {
+			frame := eb.LastFrame()
+			res := eb.LastRPN()
 			fmt.Printf("=== frame at t=%.2fs: %d events, %d set pixels, %d proposals ===\n",
-				float64(cursor)/1e6, frame.EventCount, frame.Filtered.CountOnes(), len(res.Proposals))
+				float64(snap.StartUS)/1e6, frame.EventCount, frame.Filtered.CountOnes(), len(res.Proposals))
 			fmt.Println(vis.ASCIIFrame(frame.Filtered, res.Boxes(), 4))
 			fmt.Println("X histogram (downsampled by s1=6):")
 			fmt.Println(vis.ASCIIHistogram(res.HX, 40))
 		}
-		gt := sc.GroundTruth(cursor+frameUS, 4)
-		if len(boxes) > 0 && len(gt) > 0 {
+		gt := sc.GroundTruth(snap.EndUS, 4)
+		if len(snap.Boxes) > 0 && len(gt) > 0 {
 			fmt.Printf("t=%.2fs  track=%v  gt=%v  IoU=%.2f\n",
-				float64(cursor+frameUS)/1e6, boxes[0], gt[0].Box, boxes[0].IoU(gt[0].Box))
+				float64(snap.EndUS)/1e6, snap.Boxes[0], gt[0].Box, snap.Boxes[0].IoU(gt[0].Box))
 		}
+		return nil
 	}
-	return nil
+	_, err = runner.Run(context.Background(),
+		[]pipeline.Stream{{Name: "quickstart", Source: src, System: sys, Observer: observe}}, nil)
+	return err
 }

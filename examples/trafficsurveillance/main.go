@@ -2,7 +2,8 @@
 // ENG-style junction recording (two lanes, mixed vehicle classes, tree
 // distractor), runs all three pipelines over it, and prints each system's
 // precision/recall — a miniature of the Fig. 4 comparison, runnable in a
-// few seconds.
+// few seconds. The three system streams are sharded across pipeline
+// workers (one per CPU); scores are deterministic regardless.
 package main
 
 import (

@@ -1,0 +1,3 @@
+module ebbiot
+
+go 1.21

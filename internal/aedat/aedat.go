@@ -116,6 +116,9 @@ type Reader struct {
 	res       events.Resolution
 	remaining uint64
 	prevT     int64
+	// scratch is the per-event decode buffer; keeping it in the struct stops
+	// it escaping to the heap once per decoded event.
+	scratch [eventSize]byte
 }
 
 // NewReader parses the header and returns a streaming decoder.
@@ -146,17 +149,16 @@ func (r *Reader) Next() (events.Event, error) {
 	if r.remaining == 0 {
 		return events.Event{}, io.EOF
 	}
-	var buf [eventSize]byte
-	if _, err := io.ReadFull(r.br, buf[:]); err != nil {
+	if _, err := io.ReadFull(r.br, r.scratch[:]); err != nil {
 		return events.Event{}, fmt.Errorf("aedat: reading event: %w", err)
 	}
 	r.remaining--
-	x := binary.LittleEndian.Uint16(buf[0:2])
-	y := binary.LittleEndian.Uint16(buf[2:4])
-	dt := binary.LittleEndian.Uint32(buf[4:8])
+	x := binary.LittleEndian.Uint16(r.scratch[0:2])
+	y := binary.LittleEndian.Uint16(r.scratch[2:4])
+	dt := binary.LittleEndian.Uint32(r.scratch[4:8])
 	r.prevT += int64(dt)
 	p := events.Off
-	if buf[8] == 1 {
+	if r.scratch[8] == 1 {
 		p = events.On
 	}
 	e := events.Event{X: int16(x), Y: int16(y), T: r.prevT, P: p}
@@ -171,7 +173,14 @@ func (r *Reader) Next() (events.Event, error) {
 // once per frame interrupt with end = frame boundary. Returns io.EOF along
 // with any final events once the stream is exhausted.
 func (r *Reader) NextWindow(end int64) ([]events.Event, error) {
-	var out []events.Event
+	return r.NextWindowInto(nil, end)
+}
+
+// NextWindowInto is NextWindow appending into a caller-owned buffer, so
+// streaming pipelines can recycle one window buffer instead of allocating
+// per frame. The extended slice is returned.
+func (r *Reader) NextWindowInto(buf []events.Event, end int64) ([]events.Event, error) {
+	out := buf
 	for {
 		if r.remaining == 0 {
 			return out, io.EOF

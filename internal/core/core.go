@@ -28,12 +28,23 @@ import (
 )
 
 // System is a frame-synchronous tracking pipeline.
+//
+// Aliasing contract: ProcessWindow must not retain evs after returning —
+// callers (the streaming pipeline in particular) recycle the window buffer
+// for the next frame. Conversely, the returned box slice is freshly
+// allocated each call and safe for the caller to retain, but auxiliary
+// accessors (EBBIOT.LastFrame, EBBIOT.LastRPN) alias internal buffers that
+// are valid only until the next ProcessWindow; callers that fan results out
+// across goroutines must deep-copy into snapshots at the window boundary,
+// which pipeline.Runner does.
 type System interface {
 	// Name identifies the pipeline in reports ("EBBIOT", "EBBI+KF",
 	// "EBMS").
 	Name() string
 	// ProcessWindow consumes one frame window of events (already sliced to
 	// [k*tF, (k+1)*tF)) and returns the tracks reported at the window end.
+	// Implementations must not retain evs; the returned slice must be fresh
+	// (see the System aliasing contract above).
 	ProcessWindow(evs []events.Event) ([]geometry.Box, error)
 }
 
@@ -119,6 +130,16 @@ func (e *EBBIOT) ProcessWindow(evs []events.Event) ([]geometry.Box, error) {
 	return out, nil
 }
 
+// Close returns the pipeline's EBBI double buffer to the bitmap pool.
+// The system — and any frame previously returned by LastFrame, which
+// aliases those buffers — must not be used afterwards. Callers that churn
+// through many short-lived systems (evaluation grids, benchmarks) should
+// Close each one so the pool actually recycles.
+func (e *EBBIOT) Close() {
+	e.builder.Release()
+	e.lastFrame = nil
+}
+
 // Tracker exposes the underlying overlap tracker for instrumentation.
 func (e *EBBIOT) Tracker() *tracker.Tracker { return e.tracker }
 
@@ -180,6 +201,10 @@ func NewEBBIKF(cfg KFConfig) (*EBBIKF, error) {
 
 // Name implements System.
 func (e *EBBIKF) Name() string { return "EBBI+KF" }
+
+// Close returns the pipeline's EBBI double buffer to the bitmap pool; the
+// system must not be used afterwards.
+func (e *EBBIKF) Close() { e.builder.Release() }
 
 // ProcessWindow implements System.
 func (e *EBBIKF) ProcessWindow(evs []events.Event) ([]geometry.Box, error) {

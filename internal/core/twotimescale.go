@@ -132,5 +132,12 @@ func (t *TwoTimescale) ProcessWindow(evs []events.Event) ([]geometry.Box, error)
 // Fast and Slow expose the underlying pipelines for instrumentation.
 func (t *TwoTimescale) Fast() *EBBIOT { return t.fast }
 
+// Close releases both sub-pipelines' EBBI buffers back to the bitmap pool;
+// the system must not be used afterwards.
+func (t *TwoTimescale) Close() {
+	t.fast.Close()
+	t.slow.Close()
+}
+
 // Slow returns the long-exposure pipeline.
 func (t *TwoTimescale) Slow() *EBBIOT { return t.slow }

@@ -80,16 +80,28 @@ type Builder struct {
 	needsClear bool
 }
 
-// NewBuilder returns a Builder for the given configuration.
+// NewBuilder returns a Builder for the given configuration. The double
+// buffer comes from the shared bitmap pool, so sensor streams that build and
+// discard whole pipelines recycle their EBBI frames; call Release when the
+// builder is no longer needed.
 func NewBuilder(cfg Config) (*Builder, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
 	return &Builder{
 		cfg:      cfg,
-		raw:      imgproc.NewBitmap(cfg.Res.A, cfg.Res.B),
-		filtered: imgproc.NewBitmap(cfg.Res.A, cfg.Res.B),
+		raw:      imgproc.GetBitmap(cfg.Res.A, cfg.Res.B),
+		filtered: imgproc.GetBitmap(cfg.Res.A, cfg.Res.B),
 	}, nil
+}
+
+// Release returns the builder's double buffer to the bitmap pool. The
+// builder — and any Frame it has returned, which aliases those buffers —
+// must not be used afterwards.
+func (b *Builder) Release() {
+	imgproc.PutBitmap(b.raw)
+	imgproc.PutBitmap(b.filtered)
+	b.raw, b.filtered = nil, nil
 }
 
 // Config returns the builder's configuration.

@@ -3,15 +3,22 @@
 // Section III: boxes are sampled at every frame boundary, matched by IoU
 // threshold, and precision/recall are accumulated per recording then
 // combined across recordings weighted by ground-truth track count.
+//
+// Windowing and system driving are delegated to the streaming pipeline
+// runtime; CompareSystems shards its (system, recording) grid across worker
+// goroutines via pipeline.Runner, with per-cell results independent of the
+// worker count.
 package eval
 
 import (
+	"context"
 	"fmt"
 
 	"ebbiot/internal/core"
 	"ebbiot/internal/dataset"
 	"ebbiot/internal/geometry"
 	"ebbiot/internal/metrics"
+	"ebbiot/internal/pipeline"
 	"ebbiot/internal/scene"
 	"ebbiot/internal/sensor"
 )
@@ -27,11 +34,31 @@ type Options struct {
 	// initialise; the paper's long recordings make its warm-up negligible,
 	// ours are short.
 	WarmupFrames int
+	// Workers caps the concurrent (system, recording) evaluations in
+	// CompareSystems; 0 means one per CPU. Results are identical for every
+	// value.
+	Workers int
 }
 
 // DefaultOptions returns the paper's evaluation parameters.
 func DefaultOptions() Options {
 	return Options{FrameUS: 66_000, MinVisiblePixels: 40, WarmupFrames: 5}
+}
+
+// scoringObserver appends one scored FrameSample per post-warmup window.
+func scoringObserver(sc *scene.Scene, opt Options, samples *[]metrics.FrameSample) pipeline.Observer {
+	return func(snap pipeline.TrackSnapshot, _ core.System) error {
+		if snap.Frame < opt.WarmupFrames {
+			return nil
+		}
+		gt := sc.GroundTruth(snap.EndUS, opt.MinVisiblePixels)
+		gtBoxes := make([]geometry.Box, len(gt))
+		for i, g := range gt {
+			gtBoxes[i] = g.Box
+		}
+		*samples = append(*samples, metrics.FrameSample{Tracker: snap.Boxes, GroundTruth: gtBoxes})
+		return nil
+	}
 }
 
 // Run streams a recording's events through the system frame by frame and
@@ -40,27 +67,23 @@ func Run(sys core.System, sc *scene.Scene, sim *sensor.Simulator, opt Options) (
 	if opt.FrameUS <= 0 {
 		return nil, fmt.Errorf("eval: frame duration must be positive")
 	}
+	src, err := pipeline.NewSceneSource(sim, sc.DurationUS)
+	if err != nil {
+		return nil, fmt.Errorf("eval: %w", err)
+	}
+	r, err := pipeline.NewRunner(pipeline.Config{FrameUS: opt.FrameUS, Workers: 1})
+	if err != nil {
+		return nil, fmt.Errorf("eval: %w", err)
+	}
 	var samples []metrics.FrameSample
-	frame := 0
-	for cursor := int64(0); cursor+opt.FrameUS <= sc.DurationUS; cursor += opt.FrameUS {
-		evs, err := sim.Events(cursor, cursor+opt.FrameUS)
-		if err != nil {
-			return nil, fmt.Errorf("eval: sensor window: %w", err)
-		}
-		boxes, err := sys.ProcessWindow(evs)
-		if err != nil {
-			return nil, fmt.Errorf("eval: %s: %w", sys.Name(), err)
-		}
-		frame++
-		if frame <= opt.WarmupFrames {
-			continue
-		}
-		gt := sc.GroundTruth(cursor+opt.FrameUS, opt.MinVisiblePixels)
-		gtBoxes := make([]geometry.Box, len(gt))
-		for i, g := range gt {
-			gtBoxes[i] = g.Box
-		}
-		samples = append(samples, metrics.FrameSample{Tracker: boxes, GroundTruth: gtBoxes})
+	stream := pipeline.Stream{
+		Name:     sys.Name(),
+		Source:   src,
+		System:   sys,
+		Observer: scoringObserver(sc, opt, &samples),
+	}
+	if _, err := r.Run(context.Background(), []pipeline.Stream{stream}, nil); err != nil {
+		return nil, fmt.Errorf("eval: %s: %w", sys.Name(), err)
 	}
 	return samples, nil
 }
@@ -88,16 +111,31 @@ type CompareResult struct {
 
 // CompareSystems evaluates each system factory over each recording and
 // returns the per-system weighted-average precision/recall curves of
-// Fig. 4.
+// Fig. 4. The (system, recording) grid is sharded across pipeline workers;
+// each cell owns its generated recording and fresh system instance, so the
+// scores are deterministic regardless of opt.Workers.
 func CompareSystems(factories map[string]SystemFactory, recs []RecordingSpec, thresholds []float64, opt Options) ([]CompareResult, error) {
 	if len(factories) == 0 || len(recs) == 0 {
 		return nil, fmt.Errorf("eval: nothing to compare")
 	}
-	var out []CompareResult
-	for _, name := range sortedKeys(factories) {
+	if opt.FrameUS <= 0 {
+		return nil, fmt.Errorf("eval: frame duration must be positive")
+	}
+	names := sortedKeys(factories)
+
+	// One stream per grid cell, each with its own recording replica and
+	// system instance.
+	type cell struct {
+		sysName string
+		rec     RecordingSpec
+		track   int
+		samples []metrics.FrameSample
+	}
+	cells := make([]cell, len(names)*len(recs))
+	streams := make([]pipeline.Stream, 0, len(cells))
+	for ni, name := range names {
 		factory := factories[name]
-		var perRec []metrics.RecordingResult
-		for _, rspec := range recs {
+		for ri, rspec := range recs {
 			spec, err := dataset.For(rspec.Preset, rspec.Scale, rspec.Seed)
 			if err != nil {
 				return nil, fmt.Errorf("eval: preset %v: %w", rspec.Preset, err)
@@ -110,14 +148,47 @@ func CompareSystems(factories map[string]SystemFactory, recs []RecordingSpec, th
 			if err != nil {
 				return nil, fmt.Errorf("eval: building %s: %w", name, err)
 			}
-			samples, err := Run(sys, rec.Scene, rec.Sim, opt)
+			src, err := pipeline.NewSceneSource(rec.Sim, rec.Scene.DurationUS)
 			if err != nil {
-				return nil, err
+				return nil, fmt.Errorf("eval: %w", err)
 			}
+			c := &cells[ni*len(recs)+ri]
+			c.sysName = name
+			c.rec = rspec
+			c.track = rec.Scene.TrackCount()
+			streams = append(streams, pipeline.Stream{
+				Name:     name + "/" + rspec.Name,
+				Source:   src,
+				System:   sys,
+				Observer: scoringObserver(rec.Scene, opt, &c.samples),
+			})
+		}
+	}
+
+	r, err := pipeline.NewRunner(pipeline.Config{FrameUS: opt.FrameUS, Workers: opt.Workers})
+	if err != nil {
+		return nil, fmt.Errorf("eval: %w", err)
+	}
+	if _, err := r.Run(context.Background(), streams, nil); err != nil {
+		return nil, fmt.Errorf("eval: %w", err)
+	}
+	// The grid's systems are ours and fully consumed: release their EBBI
+	// buffers so the bitmap pool recycles across cells and repeated sweeps.
+	for i := range streams {
+		if c, ok := streams[i].System.(interface{ Close() }); ok {
+			c.Close()
+		}
+	}
+
+	var out []CompareResult
+	for i, name := range names {
+		perRec := make([]metrics.RecordingResult, 0, len(recs))
+		for j := range recs {
+			c := cells[i*len(recs)+j]
 			perRec = append(perRec, metrics.RecordingResult{
-				Name:        rspec.Name,
-				Points:      metrics.Sweep(samples, thresholds),
-				TrackWeight: rec.Scene.TrackCount(),
+				Name:        c.rec.Name,
+				Points:      metrics.Sweep(c.samples, thresholds),
+				TrackWeight: c.track,
 			})
 		}
 		avg, err := metrics.WeightedAverage(perRec)

@@ -1,6 +1,7 @@
 package eval
 
 import (
+	"reflect"
 	"testing"
 
 	"ebbiot/internal/core"
@@ -151,5 +152,37 @@ func TestCompareSystemsShape(t *testing.T) {
 func TestCompareSystemsValidation(t *testing.T) {
 	if _, err := CompareSystems(nil, nil, nil, DefaultOptions()); err == nil {
 		t.Error("empty comparison should error")
+	}
+}
+
+func TestCompareSystemsDeterministicAcrossWorkers(t *testing.T) {
+	// Sharding the (system, recording) grid across pipeline workers must not
+	// change any score: each cell owns its recording replica and system.
+	factories := map[string]SystemFactory{
+		"EBBIOT": func() (core.System, error) {
+			return core.NewEBBIOT(core.DefaultConfig())
+		},
+		"EBMS": func() (core.System, error) {
+			return core.NewEBMS(core.DefaultEBMSConfig())
+		},
+	}
+	recs := []RecordingSpec{
+		{Name: "ENG", Preset: dataset.ENG, Scale: 6.0 / 2998.4, Seed: 11},
+		{Name: "LT4", Preset: dataset.LT4, Scale: 6.0 / 999.5, Seed: 13},
+	}
+	run := func(workers int) []CompareResult {
+		opt := DefaultOptions()
+		opt.Workers = workers
+		results, err := CompareSystems(factories, recs, metrics.DefaultThresholds(), opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return results
+	}
+	want := run(1)
+	for _, workers := range []int{4, 0} {
+		if got := run(workers); !reflect.DeepEqual(got, want) {
+			t.Errorf("workers=%d: results differ from sequential run", workers)
+		}
 	}
 }

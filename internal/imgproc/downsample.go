@@ -41,12 +41,30 @@ func (c *CountImage) Sum() int {
 // right/top edges (when A or B is not a multiple of the scale) are discarded
 // exactly as the floor in the paper's index bounds implies.
 func Downsample(src *Bitmap, s1, s2 int) (*CountImage, error) {
+	return DownsampleInto(nil, src, s1, s2)
+}
+
+// DownsampleInto is Downsample writing into a caller-owned scratch image,
+// so a per-window pipeline allocates nothing steady-state. dst is resized
+// (reusing its backing array when large enough) and returned; pass nil to
+// allocate.
+func DownsampleInto(dst *CountImage, src *Bitmap, s1, s2 int) (*CountImage, error) {
 	if s1 <= 0 || s2 <= 0 {
 		return nil, fmt.Errorf("imgproc: scale factors must be positive, got s1=%d s2=%d", s1, s2)
 	}
 	w := src.W / s1
 	h := src.H / s2
-	out := NewCountImage(w, h)
+	out := dst
+	if out == nil {
+		out = NewCountImage(w, h)
+	} else {
+		out.W, out.H = w, h
+		if cap(out.Pix) < w*h {
+			out.Pix = make([]uint16, w*h)
+		} else {
+			out.Pix = out.Pix[:w*h]
+		}
+	}
 	for j := 0; j < h; j++ {
 		for i := 0; i < w; i++ {
 			var sum uint16
@@ -70,8 +88,14 @@ func Downsample(src *Bitmap, s1, s2 int) (*CountImage, error) {
 //
 // HX has one entry per downsampled column, HY one per downsampled row.
 func Histograms(img *CountImage) (hx, hy []int) {
-	hx = make([]int, img.W)
-	hy = make([]int, img.H)
+	return HistogramsInto(nil, nil, img)
+}
+
+// HistogramsInto is Histograms writing into caller-owned scratch slices,
+// which are resized (reusing backing arrays when large enough) and returned.
+func HistogramsInto(hxBuf, hyBuf []int, img *CountImage) (hx, hy []int) {
+	hx = resizeInts(hxBuf, img.W)
+	hy = resizeInts(hyBuf, img.H)
 	for j := 0; j < img.H; j++ {
 		row := j * img.W
 		for i := 0; i < img.W; i++ {
@@ -81,6 +105,19 @@ func Histograms(img *CountImage) (hx, hy []int) {
 		}
 	}
 	return hx, hy
+}
+
+// resizeInts returns a zeroed slice of length n, reusing buf's backing array
+// when it is large enough.
+func resizeInts(buf []int, n int) []int {
+	if cap(buf) < n {
+		return make([]int, n)
+	}
+	buf = buf[:n]
+	for i := range buf {
+		buf[i] = 0
+	}
+	return buf
 }
 
 // Run is a maximal contiguous interval [Start, End) of histogram bins whose

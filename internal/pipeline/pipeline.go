@@ -1,0 +1,293 @@
+// Package pipeline is the streaming runtime that drives the paper's
+// frame-synchronous tracking systems over live or recorded event streams.
+// It layers as
+//
+//	EventSource -> Windower -> core.System -> TrackSnapshot -> Sink
+//
+// and scales out: a Runner shards N independent sensor streams across M
+// worker goroutines, each worker owning one stream at a time (so every
+// stream's stateful System sees its windows strictly in order), and fans the
+// per-window TrackSnapshots into a single Sink goroutine over a bounded
+// channel. Backpressure is end-to-end — a slow sink blocks the workers
+// rather than buffering unboundedly — and per-stream results are
+// deterministic regardless of worker count.
+//
+// The hot per-window path recycles buffers: window event slices come from a
+// sync.Pool shared across streams, and the Systems' EBBI frames are pooled
+// underneath (see ebbi.NewBuilder). Snapshots deep-copy the reported track
+// boxes at the window boundary, so sinks may retain them indefinitely while
+// workers race ahead.
+package pipeline
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ebbiot/internal/core"
+	"ebbiot/internal/geometry"
+)
+
+// TrackSnapshot is one window's result from one sensor stream: the frame
+// clock position plus the tracker's reported boxes, deep-copied so the
+// snapshot stays valid after the worker moves on to the next window.
+type TrackSnapshot struct {
+	// Sensor is the stream's index in the Runner's stream list; Name is its
+	// label ("sensor3" when unset).
+	Sensor int    `json:"sensor"`
+	Name   string `json:"name"`
+	// Frame is the window index; the window spans [StartUS, EndUS) in
+	// stream time.
+	Frame   int   `json:"frame"`
+	StartUS int64 `json:"start_us"`
+	EndUS   int64 `json:"end_us"`
+	// Events is the number of events consumed in the window.
+	Events int `json:"events"`
+	// ProcUS is the wall-clock time ProcessWindow took, in microseconds —
+	// the active slice of the paper's duty cycle.
+	ProcUS int64 `json:"proc_us"`
+	// Boxes are the reported tracks at the window end (deep copy; safe to
+	// retain).
+	Boxes []geometry.Box `json:"boxes"`
+}
+
+// Observer is a per-stream hook invoked synchronously on the worker
+// goroutine after each window, before the snapshot is fanned in. Because it
+// runs between windows of its own stream, it may inspect the System's
+// window-scoped internals (e.g. core.EBBIOT.LastFrame), which alias buffers
+// that the next window will overwrite.
+type Observer func(snap TrackSnapshot, sys core.System) error
+
+// Stream pairs an event source with the stateful System consuming it. Each
+// stream is processed by exactly one worker at a time.
+type Stream struct {
+	// Name labels snapshots; defaults to "sensor<index>".
+	Name   string
+	Source EventSource
+	System core.System
+	// Observer, if non-nil, runs synchronously after every window.
+	Observer Observer
+}
+
+// Config parameterises a Runner.
+type Config struct {
+	// FrameUS is the frame period tF in microseconds.
+	FrameUS int64
+	// Workers caps the concurrent stream workers; 0 means GOMAXPROCS. The
+	// effective count never exceeds the number of streams.
+	Workers int
+	// QueueDepth bounds the fan-in channel; 0 means 2 per worker. Smaller
+	// values tighten backpressure, larger ones decouple bursty sinks.
+	QueueDepth int
+}
+
+// Stats summarises a run.
+type Stats struct {
+	Streams int
+	// Workers is the effective worker count the run used (after resolving
+	// the GOMAXPROCS default and the stream-count cap).
+	Workers int
+	Windows int64
+	Events  int64
+	// Boxes is the total reported track boxes across all snapshots.
+	Boxes   int64
+	Elapsed time.Duration
+}
+
+// EventsPerSec returns the aggregate event throughput.
+func (s Stats) EventsPerSec() float64 {
+	if s.Elapsed <= 0 {
+		return 0
+	}
+	return float64(s.Events) / s.Elapsed.Seconds()
+}
+
+// WindowsPerSec returns the aggregate window throughput.
+func (s Stats) WindowsPerSec() float64 {
+	if s.Elapsed <= 0 {
+		return 0
+	}
+	return float64(s.Windows) / s.Elapsed.Seconds()
+}
+
+// Runner shards sensor streams across workers and fans snapshots into a
+// sink.
+type Runner struct {
+	cfg Config
+}
+
+// NewRunner validates the configuration and returns a Runner.
+func NewRunner(cfg Config) (*Runner, error) {
+	if cfg.FrameUS <= 0 {
+		return nil, fmt.Errorf("pipeline: frame duration must be positive, got %d", cfg.FrameUS)
+	}
+	if cfg.Workers < 0 {
+		return nil, fmt.Errorf("pipeline: negative worker count %d", cfg.Workers)
+	}
+	if cfg.QueueDepth < 0 {
+		return nil, fmt.Errorf("pipeline: negative queue depth %d", cfg.QueueDepth)
+	}
+	return &Runner{cfg: cfg}, nil
+}
+
+// Run processes every stream to exhaustion and returns aggregate stats. The
+// sink (which may be nil to discard results) is invoked from a single
+// goroutine, so it need not be thread-safe; per-stream snapshots arrive in
+// frame order, interleaving across streams arbitrarily. The first error —
+// from a source, System, observer, sink or ctx — cancels the run and is
+// returned.
+func (r *Runner) Run(ctx context.Context, streams []Stream, sink Sink) (Stats, error) {
+	if len(streams) == 0 {
+		return Stats{}, fmt.Errorf("pipeline: no streams")
+	}
+	for i := range streams {
+		if streams[i].Source == nil || streams[i].System == nil {
+			return Stats{}, fmt.Errorf("pipeline: stream %d missing source or system", i)
+		}
+	}
+	workers := r.cfg.Workers
+	if workers == 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(streams) {
+		workers = len(streams)
+	}
+	depth := r.cfg.QueueDepth
+	if depth == 0 {
+		depth = 2 * workers
+	}
+
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	var (
+		firstErr error
+		errOnce  sync.Once
+	)
+	fail := func(err error) {
+		errOnce.Do(func() {
+			firstErr = err
+			cancel()
+		})
+	}
+
+	var windows, evs, boxes atomic.Int64
+	results := make(chan TrackSnapshot, depth)
+	work := make(chan int)
+	start := time.Now()
+
+	// Single sink consumer: non-thread-safe sinks stay simple.
+	var sinkWG sync.WaitGroup
+	sinkWG.Add(1)
+	go func() {
+		defer sinkWG.Done()
+		for snap := range results {
+			if sink == nil {
+				continue
+			}
+			if err := sink.Consume(snap); err != nil {
+				fail(fmt.Errorf("pipeline: sink: %w", err))
+				// Keep draining so workers never block forever.
+			}
+		}
+	}()
+
+	var workerWG sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		workerWG.Add(1)
+		go func() {
+			defer workerWG.Done()
+			for idx := range work {
+				if err := r.runStream(ctx, idx, &streams[idx], results, &windows, &evs, &boxes); err != nil {
+					fail(err)
+					return
+				}
+			}
+		}()
+	}
+
+dispatch:
+	for i := range streams {
+		select {
+		case work <- i:
+		case <-ctx.Done():
+			break dispatch
+		}
+	}
+	close(work)
+	workerWG.Wait()
+	close(results)
+	sinkWG.Wait()
+
+	if firstErr == nil && ctx.Err() != nil {
+		firstErr = ctx.Err()
+	}
+	return Stats{
+		Streams: len(streams),
+		Workers: workers,
+		Windows: windows.Load(),
+		Events:  evs.Load(),
+		Boxes:   boxes.Load(),
+		Elapsed: time.Since(start),
+	}, firstErr
+}
+
+// runStream drives one stream's window loop to exhaustion.
+func (r *Runner) runStream(ctx context.Context, idx int, st *Stream, results chan<- TrackSnapshot, windows, evs, boxes *atomic.Int64) error {
+	name := st.Name
+	if name == "" {
+		name = fmt.Sprintf("sensor%d", idx)
+	}
+	w, err := NewWindower(st.Source, r.cfg.FrameUS)
+	if err != nil {
+		return fmt.Errorf("pipeline: %s: %w", name, err)
+	}
+	defer w.Close()
+	for {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		frame := w.Frame()
+		win, err := w.Next()
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			return fmt.Errorf("pipeline: %s: %w", name, err)
+		}
+		procStart := time.Now()
+		reported, err := st.System.ProcessWindow(win.Events)
+		if err != nil {
+			return fmt.Errorf("pipeline: %s: %s: %w", name, st.System.Name(), err)
+		}
+		snap := TrackSnapshot{
+			Sensor:  idx,
+			Name:    name,
+			Frame:   frame,
+			StartUS: win.Start,
+			EndUS:   win.End,
+			Events:  len(win.Events),
+			ProcUS:  time.Since(procStart).Microseconds(),
+			// Deep copy: the System's slice is fresh per the core.System
+			// contract, but copying here makes the snapshot safe even for
+			// systems that violate it.
+			Boxes: append([]geometry.Box(nil), reported...),
+		}
+		windows.Add(1)
+		evs.Add(int64(snap.Events))
+		boxes.Add(int64(len(snap.Boxes)))
+		if st.Observer != nil {
+			if err := st.Observer(snap, st.System); err != nil {
+				return fmt.Errorf("pipeline: %s: observer: %w", name, err)
+			}
+		}
+		select {
+		case results <- snap:
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+}

@@ -1,0 +1,97 @@
+package pipeline
+
+import (
+	"fmt"
+	"io"
+
+	"ebbiot/internal/aedat"
+	"ebbiot/internal/events"
+	"ebbiot/internal/sensor"
+)
+
+// EventSource delivers a sensor stream to the pipeline one frame window at a
+// time. Windows are requested in order with contiguous, half-open bounds
+// [start, end); the source appends the window's events to buf and returns
+// the extended slice, so callers can recycle one buffer across windows.
+//
+// A source signals exhaustion by returning io.EOF, possibly alongside a
+// final batch of events; after that the windower emits the final window and
+// stops. Any other error aborts the stream.
+type EventSource interface {
+	NextWindow(buf []events.Event, start, end int64) ([]events.Event, error)
+}
+
+// SliceSource replays an in-memory, time-sorted event stream — recordings
+// already decoded, test fixtures, or shards of a captured stream.
+type SliceSource struct {
+	evs []events.Event
+	pos int
+}
+
+// NewSliceSource validates ordering and returns a source over evs. The
+// source aliases evs; do not mutate while streaming.
+func NewSliceSource(evs []events.Event) (*SliceSource, error) {
+	if !events.Sorted(evs) {
+		return nil, events.ErrUnsorted
+	}
+	return &SliceSource{evs: evs}, nil
+}
+
+// NextWindow implements EventSource.
+func (s *SliceSource) NextWindow(buf []events.Event, start, end int64) ([]events.Event, error) {
+	for s.pos < len(s.evs) && s.evs[s.pos].T < end {
+		buf = append(buf, s.evs[s.pos])
+		s.pos++
+	}
+	if s.pos == len(s.evs) {
+		return buf, io.EOF
+	}
+	return buf, nil
+}
+
+// AEDATSource streams a recorded AER file incrementally, so hour-long
+// recordings are processed window by window without decoding everything up
+// front.
+type AEDATSource struct {
+	r *aedat.Reader
+}
+
+// NewAEDATSource wraps a streaming AEDAT reader.
+func NewAEDATSource(r *aedat.Reader) *AEDATSource { return &AEDATSource{r: r} }
+
+// NextWindow implements EventSource.
+func (a *AEDATSource) NextWindow(buf []events.Event, start, end int64) ([]events.Event, error) {
+	return a.r.NextWindowInto(buf, end)
+}
+
+// SceneSource drives a sensor simulator over a synthetic scene of finite
+// duration. Matching the evaluation protocol, only windows that fit fully
+// inside the scene duration are emitted; the trailing partial window is
+// dropped.
+type SceneSource struct {
+	sim        *sensor.Simulator
+	durationUS int64
+}
+
+// NewSceneSource wraps a simulator whose scene lasts durationUS.
+func NewSceneSource(sim *sensor.Simulator, durationUS int64) (*SceneSource, error) {
+	if durationUS <= 0 {
+		return nil, fmt.Errorf("pipeline: non-positive scene duration %d", durationUS)
+	}
+	return &SceneSource{sim: sim, durationUS: durationUS}, nil
+}
+
+// NextWindow implements EventSource.
+func (s *SceneSource) NextWindow(buf []events.Event, start, end int64) ([]events.Event, error) {
+	if end > s.durationUS {
+		return buf, io.EOF
+	}
+	out, err := s.sim.EventsInto(buf, start, end)
+	if err != nil {
+		return out, err
+	}
+	if end == s.durationUS {
+		return out, io.EOF
+	}
+	return out, nil
+}

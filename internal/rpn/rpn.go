@@ -88,9 +88,15 @@ type Result struct {
 	XRuns, YRuns []imgproc.Run
 }
 
-// Proposer computes region proposals from filtered EBBIs.
+// Proposer computes region proposals from filtered EBBIs. It owns scratch
+// buffers for the downsampled image and histograms that are reused across
+// windows, so the steady-state per-window path allocates only the proposal
+// list itself. A Proposer is therefore not safe for concurrent use; give
+// each sensor stream its own (as each stream owns its whole System).
 type Proposer struct {
-	cfg Config
+	cfg    Config
+	scaled *imgproc.CountImage
+	hx, hy []int
 }
 
 // New returns a Proposer.
@@ -104,13 +110,18 @@ func New(cfg Config) (*Proposer, error) {
 // Config returns the proposer's configuration.
 func (p *Proposer) Config() Config { return p.cfg }
 
-// Propose runs the full RPN on a filtered EBBI.
+// Propose runs the full RPN on a filtered EBBI. The returned Result's HX
+// and HY histograms alias the proposer's scratch buffers and are valid only
+// until the next Propose call; the Proposals themselves are freshly
+// allocated and safe to retain.
 func (p *Proposer) Propose(img *imgproc.Bitmap) (Result, error) {
-	scaled, err := imgproc.Downsample(img, p.cfg.S1, p.cfg.S2)
+	scaled, err := imgproc.DownsampleInto(p.scaled, img, p.cfg.S1, p.cfg.S2)
 	if err != nil {
 		return Result{}, fmt.Errorf("rpn: %w", err)
 	}
-	hx, hy := imgproc.Histograms(scaled)
+	p.scaled = scaled
+	hx, hy := imgproc.HistogramsInto(p.hx, p.hy, scaled)
+	p.hx, p.hy = hx, hy
 	xr := imgproc.FindRuns(hx, p.cfg.Threshold)
 	yr := imgproc.FindRuns(hy, p.cfg.Threshold)
 	if p.cfg.MergeGap >= 0 {

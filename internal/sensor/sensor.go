@@ -117,13 +117,22 @@ func (s *Simulator) Cursor() int64 { return s.cursor }
 // Events generates the sorted event stream for the window [t0, t1). t0 must
 // equal the current cursor (windows are contiguous) and t1 > t0.
 func (s *Simulator) Events(t0, t1 int64) ([]events.Event, error) {
+	return s.EventsInto(nil, t0, t1)
+}
+
+// EventsInto is Events appending into a caller-owned buffer, so streaming
+// pipelines can recycle one window buffer instead of allocating per frame.
+// Only the appended region is sorted and refractory-filtered; the extended
+// slice is returned.
+func (s *Simulator) EventsInto(buf []events.Event, t0, t1 int64) ([]events.Event, error) {
 	if t0 != s.cursor {
-		return nil, fmt.Errorf("sensor: non-contiguous window start %d, cursor at %d", t0, s.cursor)
+		return buf, fmt.Errorf("sensor: non-contiguous window start %d, cursor at %d", t0, s.cursor)
 	}
 	if t1 <= t0 {
-		return nil, fmt.Errorf("sensor: empty window [%d,%d)", t0, t1)
+		return buf, fmt.Errorf("sensor: empty window [%d,%d)", t0, t1)
 	}
-	var out []events.Event
+	base := len(buf)
+	out := buf
 	for tick := t0; tick < t1; tick += s.cfg.TickUS {
 		tickEnd := tick + s.cfg.TickUS
 		if tickEnd > t1 {
@@ -131,10 +140,10 @@ func (s *Simulator) Events(t0, t1 int64) ([]events.Event, error) {
 		}
 		out = s.tick(out, tick, tickEnd)
 	}
-	events.SortByTime(out)
-	out = s.applyRefractory(out)
+	events.SortByTime(out[base:])
+	kept := s.applyRefractory(out[base:])
 	s.cursor = t1
-	return out, nil
+	return out[:base+len(kept)], nil
 }
 
 // tick appends this tick's candidate events (before refractory filtering).
