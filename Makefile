@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race bench vet check
+.PHONY: build test race bench bench-store vet check
 
 build:
 	$(GO) build ./...
@@ -13,6 +13,11 @@ race:
 
 bench:
 	$(GO) test -run xxx -bench . -benchmem ./...
+
+# Store append/scan/replay benchmarks (see docs/EXPERIMENTS.md for the
+# 1-CPU container caveats).
+bench-store:
+	$(GO) test -run xxx -bench . -benchmem ./internal/store/
 
 vet:
 	$(GO) vet ./...

@@ -9,10 +9,17 @@
 // multi-sensor Runner and measures aggregate throughput. A summary with
 // events/s and windows/s is printed to stderr either way.
 //
+// With -store DIR every snapshot is additionally persisted into the
+// embedded append-only snapshot store (internal/store), so the run can be
+// interrogated later with ebbiot-query — scanned by sensor and time range
+// or replayed in full. -store-segment-mb and -store-sync tune segment
+// rotation and the fsync cadence.
+//
 // Usage:
 //
 //	ebbiot-run -in eng.aer [-system EBBIOT|KF|EBMS] [-frame-ms 66]
 //	           [-sensors N] [-workers M] [-stats stats.csv] [-json]
+//	           [-store dir] [-store-segment-mb 64] [-store-sync 0]
 package main
 
 import (
@@ -26,6 +33,7 @@ import (
 	"ebbiot/internal/core"
 	"ebbiot/internal/events"
 	"ebbiot/internal/pipeline"
+	"ebbiot/internal/store"
 	"ebbiot/internal/trace"
 )
 
@@ -61,6 +69,9 @@ func run() error {
 	sensors := flag.Int("sensors", 1, "number of independent sensor streams replaying the recording")
 	workers := flag.Int("workers", 0, "worker goroutines sharding the streams (0 = one per CPU)")
 	jsonOut := flag.Bool("json", false, "emit JSON Lines snapshots instead of CSV rows")
+	storeDir := flag.String("store", "", "record snapshots into an append-only store at this directory")
+	storeSegMB := flag.Int64("store-segment-mb", 64, "store segment rotation size in MiB")
+	storeSync := flag.Int("store-sync", 0, "store fsync cadence: every N appends (0 = rotate/close only)")
 	flag.Parse()
 
 	if *in == "" {
@@ -119,17 +130,27 @@ func run() error {
 		}
 	}
 
+	// The Runner flushes buffering sinks itself and surfaces their errors.
 	var sink pipeline.Sink
-	var flush func() error
 	if *jsonOut {
-		js := pipeline.NewJSONSink(os.Stdout)
-		sink, flush = js, js.Flush
+		sink = pipeline.NewJSONSink(os.Stdout)
 	} else {
 		cs, err := pipeline.NewCSVSink(os.Stdout)
 		if err != nil {
 			return err
 		}
-		sink, flush = cs, cs.Flush
+		sink = cs
+	}
+	var sw *store.Writer
+	if *storeDir != "" {
+		sw, err = store.Open(*storeDir, store.Options{
+			SegmentBytes: *storeSegMB << 20,
+			SyncEvery:    *storeSync,
+		})
+		if err != nil {
+			return err
+		}
+		sink = pipeline.MultiSink{sink, pipeline.NewStoreSink(sw)}
 	}
 
 	runner, err := pipeline.NewRunner(pipeline.Config{FrameUS: *frameMS * 1000, Workers: *workers})
@@ -137,10 +158,13 @@ func run() error {
 		return err
 	}
 	stats, err := runner.Run(context.Background(), streams, sink)
-	if err != nil {
-		return err
+	if sw != nil {
+		// Seal the store even on a failed run; keep the run's error first.
+		if cerr := sw.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
 	}
-	if err := flush(); err != nil {
+	if err != nil {
 		return err
 	}
 
@@ -160,5 +184,9 @@ func run() error {
 		strings.ToUpper(*sysName), sum.Frames, sum.MeanEvents, sum.MeanProposals, sum.MeanActive, sum.MaxActive)
 	fmt.Fprintf(os.Stderr, "throughput: %d sensors x %d workers: %d windows (%.0f windows/s), %d events (%.3g events/s) in %v\n",
 		stats.Streams, stats.Workers, stats.Windows, stats.WindowsPerSec(), stats.Events, stats.EventsPerSec(), stats.Elapsed.Round(1e6))
+	if *storeDir != "" {
+		fmt.Fprintf(os.Stderr, "recorded %d snapshots to %s (query with: ebbiot-query -store %s)\n",
+			stats.Windows, *storeDir, *storeDir)
+	}
 	return nil
 }

@@ -7,18 +7,27 @@
 // synchronously between windows and may therefore read the system's
 // window-scoped internals (LastFrame/LastRPN alias buffers the next window
 // overwrites).
+//
+// The run is also recorded through a StoreSink into a temporary embedded
+// snapshot store and replayed from disk afterwards, verifying that the
+// persisted sequence is identical to what the live sink saw — the
+// record→replay loop that ebbiot-run -store / ebbiot-query expose on the
+// command line.
 package main
 
 import (
 	"context"
 	"fmt"
+	"math"
 	"os"
+	"reflect"
 
 	"ebbiot/internal/core"
 	"ebbiot/internal/events"
 	"ebbiot/internal/pipeline"
 	"ebbiot/internal/scene"
 	"ebbiot/internal/sensor"
+	"ebbiot/internal/store"
 	"ebbiot/internal/vis"
 )
 
@@ -70,7 +79,50 @@ func run() error {
 		}
 		return nil
 	}
+	// Record the run into an embedded snapshot store while the live
+	// callback sink collects the same sequence.
+	storeDir, err := os.MkdirTemp("", "ebbiot-quickstart-store")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(storeDir)
+	sw, err := store.Open(storeDir, store.Options{})
+	if err != nil {
+		return err
+	}
+	var live []pipeline.TrackSnapshot
+	collect := pipeline.SinkFunc(func(snap pipeline.TrackSnapshot) error {
+		live = append(live, snap)
+		return nil
+	})
 	_, err = runner.Run(context.Background(),
-		[]pipeline.Stream{{Name: "quickstart", Source: src, System: sys, Observer: observe}}, nil)
-	return err
+		[]pipeline.Stream{{Name: "quickstart", Source: src, System: sys, Observer: observe}},
+		pipeline.MultiSink{collect, pipeline.NewStoreSink(sw)})
+	if err != nil {
+		return err
+	}
+	if err := sw.Close(); err != nil {
+		return err
+	}
+
+	// Replay the stored run and check it is bit-identical to the live one.
+	r, err := store.OpenReader(storeDir)
+	if err != nil {
+		return err
+	}
+	var replayed []pipeline.TrackSnapshot
+	if _, err := pipeline.ReplayStore(context.Background(), r, nil, 0, math.MaxInt64,
+		pipeline.SinkFunc(func(snap pipeline.TrackSnapshot) error {
+			replayed = append(replayed, snap)
+			return nil
+		})); err != nil {
+		return err
+	}
+	if !reflect.DeepEqual(live, replayed) {
+		return fmt.Errorf("store round-trip mismatch: %d live vs %d replayed snapshots", len(live), len(replayed))
+	}
+	st := r.Stats()
+	fmt.Printf("\nstore: recorded %d snapshots (%d bytes on disk), replayed %d, identical\n",
+		st.Records, st.DataBytes, len(replayed))
+	return nil
 }

@@ -17,6 +17,13 @@
 // underneath (see ebbi.NewBuilder). Snapshots deep-copy the reported track
 // boxes at the window boundary, so sinks may retain them indefinitely while
 // workers race ahead.
+//
+// Runs can outlive the process: a StoreSink persists every snapshot into
+// the embedded append-only store (internal/store), and ReplayStore feeds a
+// recorded run back through any Sink with the same per-stream ordering
+// contract — record once, re-evaluate offline forever. Sinks that buffer
+// implement Flusher and are flushed by the Runner itself, so deferred
+// write errors fail the run instead of vanishing.
 package pipeline
 
 import (
@@ -137,9 +144,10 @@ func NewRunner(cfg Config) (*Runner, error) {
 // Run processes every stream to exhaustion and returns aggregate stats. The
 // sink (which may be nil to discard results) is invoked from a single
 // goroutine, so it need not be thread-safe; per-stream snapshots arrive in
-// frame order, interleaving across streams arbitrarily. The first error —
-// from a source, System, observer, sink or ctx — cancels the run and is
-// returned.
+// frame order, interleaving across streams arbitrarily. Once the snapshot
+// stream ends the sink is flushed if it implements Flusher (MultiSink
+// members included). The first error — from a source, System, observer,
+// sink, flush or ctx — cancels the run and is returned.
 func (r *Runner) Run(ctx context.Context, streams []Stream, sink Sink) (Stats, error) {
 	if len(streams) == 0 {
 		return Stats{}, fmt.Errorf("pipeline: no streams")
@@ -221,6 +229,13 @@ dispatch:
 	workerWG.Wait()
 	close(results)
 	sinkWG.Wait()
+
+	// Flush buffering sinks so deferred write errors surface through the
+	// run instead of being dropped; flushing is attempted even on a failed
+	// run to persist whatever made it through.
+	if err := flushSink(sink); err != nil {
+		fail(fmt.Errorf("pipeline: sink flush: %w", err))
+	}
 
 	if firstErr == nil && ctx.Err() != nil {
 		firstErr = ctx.Err()

@@ -23,6 +23,38 @@ type SinkFunc func(snap TrackSnapshot) error
 // Consume implements Sink.
 func (f SinkFunc) Consume(snap TrackSnapshot) error { return f(snap) }
 
+// Flusher is implemented by sinks that buffer output (CSVSink, JSONSink,
+// StoreSink). Runner.Run and ReplayStore flush the sink once the snapshot
+// stream ends and propagate the error, so deferred write failures — a full
+// disk surfacing only when the buffer drains — fail the run instead of
+// being dropped on the floor.
+type Flusher interface {
+	Flush() error
+}
+
+// flushSink flushes s if it buffers, descending into MultiSink so every
+// member gets flushed; the first error wins but remaining members are
+// still attempted (a CSV flush failure must not leave the store sink
+// unflushed).
+func flushSink(s Sink) error {
+	switch v := s.(type) {
+	case nil:
+		return nil
+	case MultiSink:
+		var firstErr error
+		for _, m := range v {
+			if err := flushSink(m); err != nil && firstErr == nil {
+				firstErr = err
+			}
+		}
+		return firstErr
+	case Flusher:
+		return v.Flush()
+	default:
+		return nil
+	}
+}
+
 // ChannelSink forwards snapshots to a channel, inheriting the Runner's
 // backpressure: an unread channel blocks the pipeline. The caller owns the
 // channel and closes it (after Run returns) if needed.

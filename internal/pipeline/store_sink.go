@@ -1,0 +1,134 @@
+package pipeline
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"time"
+
+	"ebbiot/internal/store"
+)
+
+// StoreSink persists every snapshot into an embedded store.Writer, giving
+// a run a durable, queryable record. It honours the Runner's determinism
+// contract the same way the in-process sinks do: Append fully serialises
+// the snapshot (boxes included, already deep-copied by the worker) before
+// returning, so nothing the workers recycle is ever aliased by the store.
+//
+// The Runner flushes the sink when the run ends (StoreSink implements
+// Flusher via Writer.Sync); the caller still owns the Writer and must
+// Close it to seal the final segment.
+type StoreSink struct {
+	w *store.Writer
+}
+
+// NewStoreSink wraps an open store.Writer.
+func NewStoreSink(w *store.Writer) *StoreSink { return &StoreSink{w: w} }
+
+// Consume implements Sink.
+func (s *StoreSink) Consume(snap TrackSnapshot) error {
+	if err := s.w.Append(store.Snapshot{
+		Sensor:  snap.Sensor,
+		Name:    snap.Name,
+		Frame:   snap.Frame,
+		StartUS: snap.StartUS,
+		EndUS:   snap.EndUS,
+		Events:  snap.Events,
+		ProcUS:  snap.ProcUS,
+		Boxes:   snap.Boxes,
+	}); err != nil {
+		return fmt.Errorf("pipeline: store sink: %w", err)
+	}
+	return nil
+}
+
+// Flush implements Flusher: buffered records are flushed and fsynced.
+func (s *StoreSink) Flush() error { return s.w.Sync() }
+
+// Close seals the store. After Close the sink must not consume again.
+func (s *StoreSink) Close() error { return s.w.Close() }
+
+// snapshotFromStore converts a stored record back to the pipeline type.
+func snapshotFromStore(s store.Snapshot) TrackSnapshot {
+	return TrackSnapshot{
+		Sensor:  s.Sensor,
+		Name:    s.Name,
+		Frame:   s.Frame,
+		StartUS: s.StartUS,
+		EndUS:   s.EndUS,
+		Events:  s.Events,
+		ProcUS:  s.ProcUS,
+		Boxes:   s.Boxes,
+	}
+}
+
+// ReplayStore is the offline counterpart of Runner.Run: it feeds a stored
+// run back through any Sink, so recorded deployments can be re-evaluated —
+// re-summarised through a TraceSink, re-exported as CSV/JSON, or piped
+// into new analysis code — without touching the original sensors.
+//
+// Snapshots arrive on the calling goroutine in the store's replay order:
+// globally non-decreasing EndUS, per-sensor in frame order — the same
+// per-stream ordering contract a live Runner gives its sink. A nil or
+// empty sensors list replays every sensor; [t0, t1) bounds the window
+// overlap query (use 0 and math.MaxInt64 for everything). Like Runner.Run,
+// ReplayStore flushes the sink before returning and reports the first
+// error from the store, the sink, the flush or ctx.
+func ReplayStore(ctx context.Context, r *store.Reader, sensors []int, t0, t1 int64, sink Sink) (Stats, error) {
+	it, err := r.Replay(sensors, t0, t1)
+	if err != nil {
+		return Stats{}, fmt.Errorf("pipeline: replay: %w", err)
+	}
+	return drainStore(ctx, it, sink)
+}
+
+// ScanStore feeds one sensor's stored snapshots through a Sink in append
+// order (frame order within each recorded run). Unlike ReplayStore it
+// does not require the global timestamp order of a single-run store, so
+// it also works on directories holding several appended runs.
+func ScanStore(ctx context.Context, r *store.Reader, sensor int, t0, t1 int64, sink Sink) (Stats, error) {
+	return drainStore(ctx, r.Scan(sensor, t0, t1), sink)
+}
+
+// drainStore pumps a store iterator into a sink, mirroring Runner.Run's
+// consumer-side contract: single goroutine, sink flushed at the end,
+// first error wins.
+func drainStore(ctx context.Context, it store.Iterator, sink Sink) (Stats, error) {
+	defer it.Close()
+	start := time.Now()
+	streams := make(map[int]struct{})
+	var st Stats
+	var firstErr error
+loop:
+	for {
+		if err := ctx.Err(); err != nil {
+			firstErr = err
+			break
+		}
+		snap, err := it.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			firstErr = fmt.Errorf("pipeline: replay: %w", err)
+			break
+		}
+		streams[snap.Sensor] = struct{}{}
+		st.Windows++
+		st.Events += int64(snap.Events)
+		st.Boxes += int64(len(snap.Boxes))
+		if sink != nil {
+			if err := sink.Consume(snapshotFromStore(snap)); err != nil {
+				firstErr = fmt.Errorf("pipeline: sink: %w", err)
+				break loop
+			}
+		}
+	}
+	if err := flushSink(sink); err != nil && firstErr == nil {
+		firstErr = fmt.Errorf("pipeline: sink flush: %w", err)
+	}
+	st.Streams = len(streams)
+	st.Workers = 1
+	st.Elapsed = time.Since(start)
+	return st, firstErr
+}

@@ -1,0 +1,188 @@
+package pipeline
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"reflect"
+	"testing"
+
+	"ebbiot/internal/store"
+)
+
+// runFleetWithStore mirrors runFleet but records every snapshot through a
+// StoreSink (alongside the collecting callback) into dir.
+func runFleetWithStore(t *testing.T, dir string, sensors, workers int) map[int][]TrackSnapshot {
+	t.Helper()
+	w, err := store.Open(dir, store.Options{SegmentBytes: 16 << 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	streams := make([]Stream, sensors)
+	for k := 0; k < sensors; k++ {
+		src, err := NewSliceSource(syntheticStream(k, 2_000_000))
+		if err != nil {
+			t.Fatal(err)
+		}
+		streams[k] = Stream{Source: src, System: &fakeSystem{name: fmt.Sprintf("fake%d", k)}}
+	}
+	r, err := NewRunner(Config{FrameUS: 66_000, Workers: workers})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make(map[int][]TrackSnapshot)
+	live := SinkFunc(func(snap TrackSnapshot) error {
+		got[snap.Sensor] = append(got[snap.Sensor], snap)
+		return nil
+	})
+	if _, err := r.Run(context.Background(), streams, MultiSink{live, NewStoreSink(w)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return got
+}
+
+// TestStoreRoundTrip is the acceptance property: a Runner run recorded
+// through StoreSink and replayed via the store yields the same per-stream
+// snapshot sequence as the live callback sink, for any worker count.
+func TestStoreRoundTrip(t *testing.T) {
+	const sensors = 5
+	for _, workers := range []int{1, 2, 4} {
+		dir := t.TempDir()
+		live := runFleetWithStore(t, dir, sensors, workers)
+
+		r, err := store.OpenReader(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		replayed := make(map[int][]TrackSnapshot)
+		stats, err := ReplayStore(context.Background(), r, nil, 0, math.MaxInt64,
+			SinkFunc(func(snap TrackSnapshot) error {
+				replayed[snap.Sensor] = append(replayed[snap.Sensor], snap)
+				return nil
+			}))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if stats.Streams != sensors {
+			t.Fatalf("workers=%d: replay saw %d streams, want %d", workers, stats.Streams, sensors)
+		}
+		if !reflect.DeepEqual(replayed, live) {
+			t.Fatalf("workers=%d: replayed per-stream snapshots differ from live run", workers)
+		}
+	}
+}
+
+// TestReplayStoreTimeAndSensorBounds re-queries a recorded run: a bounded
+// replay must equal the live sequence filtered by window overlap.
+func TestReplayStoreTimeAndSensorBounds(t *testing.T) {
+	dir := t.TempDir()
+	live := runFleetWithStore(t, dir, 3, 2)
+	r, err := store.OpenReader(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const t0, t1 = 500_000, 1_200_000
+	var got []TrackSnapshot
+	if _, err := ReplayStore(context.Background(), r, []int{2}, t0, t1,
+		SinkFunc(func(snap TrackSnapshot) error { got = append(got, snap); return nil })); err != nil {
+		t.Fatal(err)
+	}
+	var want []TrackSnapshot
+	for _, snap := range live[2] {
+		if snap.StartUS < t1 && snap.EndUS > t0 {
+			want = append(want, snap)
+		}
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("bounded replay: %d snapshots, want %d", len(got), len(want))
+	}
+}
+
+// TestScanStoreWorksOnMultiRunStore pins the CLI scan path's contract:
+// append order tolerates several runs recorded into one directory, where
+// the timestamp-ordered Replay (correctly) refuses to merge them.
+func TestScanStoreWorksOnMultiRunStore(t *testing.T) {
+	dir := t.TempDir()
+	first := runFleetWithStore(t, dir, 2, 1)
+	second := runFleetWithStore(t, dir, 2, 1) // second run appends to the same store
+	r, err := store.OpenReader(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReplayStore(context.Background(), r, nil, 0, math.MaxInt64, nil); err == nil {
+		t.Fatal("ReplayStore over a two-run store succeeded; want a multiple-runs error")
+	}
+	var got []TrackSnapshot
+	stats, err := ScanStore(context.Background(), r, 1, 0, math.MaxInt64,
+		SinkFunc(func(snap TrackSnapshot) error { got = append(got, snap); return nil }))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := append(append([]TrackSnapshot(nil), first[1]...), second[1]...)
+	if stats.Windows != int64(len(want)) || !reflect.DeepEqual(got, want) {
+		t.Fatalf("ScanStore yielded %d snapshots, want both runs' %d in append order", len(got), len(want))
+	}
+}
+
+// flushFailSink consumes everything but fails at flush time — the shape of
+// a full disk surfacing only when a buffer drains.
+type flushFailSink struct{ err error }
+
+func (f *flushFailSink) Consume(TrackSnapshot) error { return nil }
+func (f *flushFailSink) Flush() error                { return f.err }
+
+// TestRunnerSurfacesFlushErrors covers the sink error-path fix: deferred
+// write errors from buffering sinks must fail the run, including when the
+// sink is buried inside a MultiSink.
+func TestRunnerSurfacesFlushErrors(t *testing.T) {
+	boom := errors.New("disk full")
+	for _, wrap := range []func(Sink) Sink{
+		func(s Sink) Sink { return s },
+		func(s Sink) Sink { return MultiSink{NewTraceSink(), s} },
+	} {
+		src, err := NewSliceSource(syntheticStream(0, 500_000))
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, err := NewRunner(Config{FrameUS: 66_000})
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, err = r.Run(context.Background(),
+			[]Stream{{Source: src, System: &fakeSystem{name: "s"}}}, wrap(&flushFailSink{err: boom}))
+		if !errors.Is(err, boom) {
+			t.Fatalf("Run error = %v, want flush error %v", err, boom)
+		}
+	}
+}
+
+// TestCSVSinkFlushErrorFailsRun exercises the real CSVSink against a
+// writer that rejects everything: the header and rows sit in the bufio
+// buffer, so before the fix the run "succeeded" and the output silently
+// vanished at flush time.
+func TestCSVSinkFlushErrorFailsRun(t *testing.T) {
+	sink, err := NewCSVSink(failWriter{})
+	if err != nil {
+		t.Fatal(err) // header is buffered, construction must succeed
+	}
+	src, err := NewSliceSource(syntheticStream(0, 2_000_000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewRunner(Config{FrameUS: 66_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Run(context.Background(),
+		[]Stream{{Source: src, System: &fakeSystem{name: "s"}}}, sink); err == nil {
+		t.Fatal("run over a failing writer reported success")
+	}
+}
+
+type failWriter struct{}
+
+func (failWriter) Write(p []byte) (int, error) { return 0, errors.New("write refused") }

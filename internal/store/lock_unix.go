@@ -1,0 +1,39 @@
+//go:build !windows
+
+package store
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"syscall"
+)
+
+// lockFileName guards a store directory against concurrent writers. Two
+// writers appending to the same active segment would interleave their
+// buffered frames into mid-file corruption the torn-tail recovery model
+// cannot undo, so Open takes this advisory flock for the Writer's
+// lifetime and a second Open fails fast instead.
+const lockFileName = "LOCK"
+
+// acquireDirLock takes a non-blocking exclusive flock on dir's lock file,
+// returning the held file. The lock dies with the process, so a crashed
+// writer never leaves the store unopenable.
+func acquireDirLock(dir string) (*os.File, error) {
+	f, err := os.OpenFile(filepath.Join(dir, lockFileName), os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	if err := syscall.Flock(int(f.Fd()), syscall.LOCK_EX|syscall.LOCK_NB); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("store: %s is locked by another writer: %w", dir, err)
+	}
+	return f, nil
+}
+
+// releaseDirLock drops the flock (closing the file releases it).
+func releaseDirLock(f *os.File) {
+	if f != nil {
+		f.Close()
+	}
+}

@@ -1,0 +1,11 @@
+//go:build windows
+
+package store
+
+import "os"
+
+// Windows has no flock; concurrent-writer protection is unix-only. The
+// single-writer requirement still holds — it is just not enforced here.
+func acquireDirLock(dir string) (*os.File, error) { return nil, nil }
+
+func releaseDirLock(f *os.File) {}

@@ -1,0 +1,429 @@
+package store
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// Reader is a point-in-time view of a store directory: the segment list
+// and per-segment metadata are captured at OpenReader. Records appended
+// after that (by a live Writer) are not visible; reopen to see them. A
+// Reader is safe for concurrent use — each Scan/Replay cursor owns its
+// file handles.
+type Reader struct {
+	dir  string
+	segs []readerSeg
+}
+
+type readerSeg struct {
+	n       int
+	path    string
+	meta    *segMeta
+	dropped int64
+}
+
+// Stats summarises what a Reader can see.
+type Stats struct {
+	Segments int
+	Records  int64
+	// DataBytes counts valid record bytes including per-segment headers;
+	// DroppedBytes counts invalid tail bytes ignored during recovery.
+	DataBytes    int64
+	DroppedBytes int64
+	// MinEndUS/MaxEndUS bound the stored window end timestamps (valid only
+	// when Records > 0).
+	MinEndUS int64
+	MaxEndUS int64
+}
+
+// OpenReader captures a consistent view of the store in dir. Sidecar
+// indexes are used when present and valid; otherwise segments are scanned
+// and a torn or corrupt tail is ignored (see Stats.DroppedBytes).
+func OpenReader(dir string) (*Reader, error) {
+	segs, err := listSegments(dir)
+	if err != nil {
+		return nil, err
+	}
+	r := &Reader{dir: dir}
+	for _, n := range segs {
+		meta, dropped, err := loadSegMeta(dir, n, DefaultIndexEvery)
+		if err != nil {
+			return nil, err
+		}
+		r.segs = append(r.segs, readerSeg{
+			n:       n,
+			path:    filepath.Join(dir, segmentName(n)),
+			meta:    meta,
+			dropped: dropped,
+		})
+	}
+	return r, nil
+}
+
+// Stats aggregates the per-segment metadata.
+func (r *Reader) Stats() Stats {
+	var st Stats
+	st.Segments = len(r.segs)
+	for _, s := range r.segs {
+		st.DataBytes += s.meta.DataBytes
+		st.DroppedBytes += s.dropped
+		if s.meta.Records == 0 {
+			continue
+		}
+		if st.Records == 0 || s.meta.MinEndUS < st.MinEndUS {
+			st.MinEndUS = s.meta.MinEndUS
+		}
+		if st.Records == 0 || s.meta.MaxEndUS > st.MaxEndUS {
+			st.MaxEndUS = s.meta.MaxEndUS
+		}
+		st.Records += s.meta.Records
+	}
+	return st
+}
+
+// Sensors returns every sensor id with at least one stored record,
+// ascending.
+func (r *Reader) Sensors() []int {
+	set := make(map[int]struct{})
+	for _, s := range r.segs {
+		for id := range s.meta.Sensors {
+			set[id] = struct{}{}
+		}
+	}
+	out := make([]int, 0, len(set))
+	for id := range set {
+		out = append(out, id)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Scan returns an iterator over sensor's snapshots whose windows overlap
+// [t0, t1) — i.e. StartUS < t1 && EndUS > t0 — in append order, which is
+// frame order for a stream recorded through the pipeline Runner. Use
+// t0 = 0, t1 = math.MaxInt64 for an unbounded scan.
+func (r *Reader) Scan(sensor int, t0, t1 int64) *Cursor {
+	return &Cursor{r: r, sensor: sensor, t0: t0, t1: t1}
+}
+
+// Cursor streams one sensor's matching snapshots (see Reader.Scan). The
+// sparse index lets it skip whole segments the sensor or time range never
+// touches and seek past cold prefixes inside each segment.
+type Cursor struct {
+	r      *Reader
+	sensor int
+	t0, t1 int64
+
+	segIdx    int // next segment to open
+	f         *os.File
+	br        *bufio.Reader
+	remaining int64 // valid data bytes left in the open segment
+	payload   []byte
+	done      bool
+}
+
+// segMayMatch reports whether a segment can hold a matching record. Only
+// the lower time bound prunes here: EndUS <= t0 can never overlap, but a
+// record ending after t1 may still start before it.
+func (c *Cursor) segMayMatch(s readerSeg) bool {
+	if s.meta.Records == 0 || s.meta.MaxEndUS <= c.t0 {
+		return false
+	}
+	if c.sensor >= 0 {
+		if _, ok := s.meta.Sensors[c.sensor]; !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// Next returns the next matching snapshot, or io.EOF when the scan is
+// exhausted. A crash's torn tail never reaches Next — it is excluded from
+// the validated region at OpenReader — so a record failing validation
+// here means real post-seal damage (e.g. a bit flip under a sidecar index
+// that still matches the file size) and is reported as ErrCorrupt rather
+// than silently truncating the results. Run Verify to locate the damage;
+// reopening the store for append truncates it only when it sits in the
+// last segment.
+func (c *Cursor) Next() (Snapshot, error) {
+	if c.done {
+		return Snapshot{}, io.EOF
+	}
+	for {
+		if c.f == nil {
+			ok, err := c.openNextSegment()
+			if err != nil {
+				c.done = true
+				return Snapshot{}, err
+			}
+			if !ok {
+				c.done = true
+				return Snapshot{}, io.EOF
+			}
+		}
+		payload, err := c.readRecord()
+		if err == nil {
+			// Filter on the cheap peeked fields; only matching records pay
+			// for the full decode (name and box allocations).
+			var sensor int
+			var startUS, endUS int64
+			sensor, startUS, endUS, err = peekMeta(payload)
+			if err == nil {
+				if (c.sensor >= 0 && sensor != c.sensor) || startUS >= c.t1 || endUS <= c.t0 {
+					continue
+				}
+				var snap Snapshot
+				snap, err = decodeSnapshot(payload)
+				if err == nil {
+					return snap, nil
+				}
+			}
+		}
+		if err == io.EOF {
+			c.closeSegment()
+			continue
+		}
+		c.done = true
+		c.closeSegment()
+		return Snapshot{}, err
+	}
+}
+
+// openNextSegment advances to the next candidate segment and seeks past
+// records the index proves cannot match. Returns false when none remain.
+// A segment deleted since OpenReader captured the view is skipped (the
+// view is best-effort under concurrent retention); any other I/O failure
+// — permissions, disk errors — is surfaced rather than silently dropping
+// a whole segment from the results.
+func (c *Cursor) openNextSegment() (bool, error) {
+	for c.segIdx < len(c.r.segs) {
+		s := c.r.segs[c.segIdx]
+		c.segIdx++
+		if !c.segMayMatch(s) {
+			continue
+		}
+		f, err := os.Open(s.path)
+		if err != nil {
+			if errors.Is(err, fs.ErrNotExist) {
+				continue
+			}
+			return false, fmt.Errorf("store: %w", err)
+		}
+		off := s.meta.seekOffset(c.t0)
+		if _, err := f.Seek(off, 0); err != nil {
+			f.Close()
+			return false, fmt.Errorf("store: seek %s: %w", s.path, err)
+		}
+		c.f = f
+		c.br = bufio.NewReaderSize(f, 1<<16)
+		c.remaining = s.meta.DataBytes - off
+		return true, nil
+	}
+	return false, nil
+}
+
+// readRecord reads one framed record's checksum-verified payload from the
+// open segment, returning io.EOF at the end of its valid region. The
+// returned slice is the cursor's scratch buffer, valid until the next
+// call.
+func (c *Cursor) readRecord() ([]byte, error) {
+	if c.remaining < frameLen {
+		return nil, io.EOF
+	}
+	var frame [frameLen]byte
+	if _, err := io.ReadFull(c.br, frame[:]); err != nil {
+		return nil, fmt.Errorf("store: read: %w", err)
+	}
+	n := int64(le.Uint32(frame[0:4]))
+	sum := le.Uint32(frame[4:8])
+	if n > maxRecordBytes || frameLen+n > c.remaining {
+		return nil, fmt.Errorf("%w: frame length %d exceeds segment bounds", ErrCorrupt, n)
+	}
+	if int64(cap(c.payload)) < n {
+		c.payload = make([]byte, n)
+	}
+	c.payload = c.payload[:n]
+	if _, err := io.ReadFull(c.br, c.payload); err != nil {
+		return nil, fmt.Errorf("store: read: %w", err)
+	}
+	c.remaining -= frameLen + n
+	if payloadCRC(c.payload) != sum {
+		return nil, fmt.Errorf("%w: checksum mismatch", ErrCorrupt)
+	}
+	return c.payload, nil
+}
+
+func (c *Cursor) closeSegment() {
+	if c.f != nil {
+		c.f.Close()
+		c.f, c.br = nil, nil
+	}
+}
+
+// Close releases the cursor's file handle. Safe to call repeatedly.
+func (c *Cursor) Close() error {
+	c.done = true
+	c.closeSegment()
+	return nil
+}
+
+// Replay returns an iterator merging the given sensors' snapshots in
+// (EndUS, Sensor, Frame) order across all segments — the canonical replay
+// order: globally non-decreasing in time, per-sensor in frame order, and
+// deterministic for any on-disk interleaving. A nil or empty sensor list
+// replays every sensor in the store. Each sensor contributes one
+// sequential cursor, so a k-sensor replay holds k file handles.
+func (r *Reader) Replay(sensors []int, t0, t1 int64) (Iterator, error) {
+	if len(sensors) == 0 {
+		sensors = r.Sensors()
+	}
+	seen := make(map[int]struct{}, len(sensors))
+	m := &mergeIterator{}
+	for _, id := range sensors {
+		if id < 0 {
+			m.Close()
+			return nil, fmt.Errorf("store: negative sensor id %d", id)
+		}
+		if _, dup := seen[id]; dup {
+			continue
+		}
+		seen[id] = struct{}{}
+		m.cursors = append(m.cursors, r.Scan(id, t0, t1))
+	}
+	if err := m.prime(); err != nil {
+		m.Close()
+		return nil, err
+	}
+	return m, nil
+}
+
+// mergeIterator k-way merges per-sensor cursors. Correctness rests on
+// each cursor yielding strictly increasing (EndUS, Frame) — true for a
+// single recorded run, where a sensor's frame clock only moves forward.
+// A store holding several appended runs breaks that precondition (each
+// run restarts the clock), so advance detects the regression and fails
+// loudly instead of interleaving snapshots from different runs into one
+// timeline.
+type mergeIterator struct {
+	cursors []*Cursor
+	heads   []Snapshot
+	live    []bool
+}
+
+func (m *mergeIterator) prime() error {
+	m.heads = make([]Snapshot, len(m.cursors))
+	m.live = make([]bool, len(m.cursors))
+	for i := range m.cursors {
+		if err := m.advance(i); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (m *mergeIterator) advance(i int) error {
+	prev, hadPrev := m.heads[i], m.live[i]
+	snap, err := m.cursors[i].Next()
+	if err == io.EOF {
+		m.live[i] = false
+		return nil
+	}
+	if err != nil {
+		return err
+	}
+	if hadPrev && (snap.EndUS < prev.EndUS || (snap.EndUS == prev.EndUS && snap.Frame <= prev.Frame)) {
+		return fmt.Errorf("store: sensor %d timestamps regress at frame %d (end %d us after %d us): store holds multiple runs; replay requires one run per directory",
+			snap.Sensor, snap.Frame, snap.EndUS, prev.EndUS)
+	}
+	m.heads[i], m.live[i] = snap, true
+	return nil
+}
+
+// Next implements Iterator.
+func (m *mergeIterator) Next() (Snapshot, error) {
+	best := -1
+	for i, ok := range m.live {
+		if !ok {
+			continue
+		}
+		if best < 0 || snapLess(m.heads[i], m.heads[best]) {
+			best = i
+		}
+	}
+	if best < 0 {
+		return Snapshot{}, io.EOF
+	}
+	out := m.heads[best]
+	if err := m.advance(best); err != nil {
+		return Snapshot{}, err
+	}
+	return out, nil
+}
+
+// snapLess orders snapshots by (EndUS, Sensor, Frame).
+func snapLess(a, b Snapshot) bool {
+	if a.EndUS != b.EndUS {
+		return a.EndUS < b.EndUS
+	}
+	if a.Sensor != b.Sensor {
+		return a.Sensor < b.Sensor
+	}
+	return a.Frame < b.Frame
+}
+
+// Close implements Iterator.
+func (m *mergeIterator) Close() error {
+	for _, c := range m.cursors {
+		if c != nil {
+			c.Close()
+		}
+	}
+	return nil
+}
+
+// VerifyReport summarises a full-store integrity check.
+type VerifyReport struct {
+	Segments int
+	Records  int64
+	// DataBytes counts validated bytes; DroppedBytes counts the invalid
+	// tail bytes that recovery would discard. Problems lists one line per
+	// affected segment.
+	DataBytes    int64
+	DroppedBytes int64
+	Problems     []string
+}
+
+// Clean reports whether every byte in the store validated.
+func (v VerifyReport) Clean() bool { return v.DroppedBytes == 0 }
+
+// Verify rescans every segment from disk — ignoring sidecar indexes — and
+// checks each record's framing, checksum and decodability. It never
+// modifies the store.
+func Verify(dir string) (VerifyReport, error) {
+	var rep VerifyReport
+	segs, err := listSegments(dir)
+	if err != nil {
+		return rep, err
+	}
+	rep.Segments = len(segs)
+	for _, n := range segs {
+		meta, dropped, err := scanSegment(filepath.Join(dir, segmentName(n)), DefaultIndexEvery)
+		if err != nil {
+			return rep, err
+		}
+		rep.Records += meta.Records
+		rep.DataBytes += meta.DataBytes
+		rep.DroppedBytes += dropped
+		if dropped > 0 {
+			rep.Problems = append(rep.Problems, fmt.Sprintf(
+				"%s: %d valid records, %d invalid tail bytes", segmentName(n), meta.Records, dropped))
+		}
+	}
+	return rep, nil
+}

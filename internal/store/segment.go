@@ -1,0 +1,147 @@
+package store
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// listSegments returns the segment numbers present in dir, ascending.
+func listSegments(dir string) ([]int, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("store: list %s: %w", dir, err)
+	}
+	var segs []int
+	for _, e := range entries {
+		if n, ok := parseSegmentName(e.Name()); ok {
+			segs = append(segs, n)
+		}
+	}
+	sort.Ints(segs)
+	return segs, nil
+}
+
+// scanSegment reads a segment data file front to back, validating every
+// frame, and returns the rebuilt metadata plus the number of trailing
+// bytes that failed validation (torn frame, bad CRC, undecodable payload —
+// all treated as a crashed append). Scanning stops at the first invalid
+// frame: meta covers exactly the valid prefix, meta.DataBytes marks where
+// it ends, and dropped = fileSize - meta.DataBytes.
+//
+// A file too short or wrong-magic to hold a header yields an empty meta
+// with DataBytes 0 (the whole file is the dropped tail); only I/O failures
+// return an error.
+func scanSegment(path string, indexEvery int) (meta *segMeta, dropped int64, err error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, 0, fmt.Errorf("store: %w", err)
+	}
+	defer f.Close()
+	fi, err := f.Stat()
+	if err != nil {
+		return nil, 0, fmt.Errorf("store: %w", err)
+	}
+	size := fi.Size()
+
+	meta = newSegMeta()
+	var hdr [segHeaderLen]byte
+	if _, err := io.ReadFull(f, hdr[:]); err != nil || checkSegHeader(hdr[:]) != nil {
+		if err != nil && err != io.EOF && err != io.ErrUnexpectedEOF {
+			return nil, 0, fmt.Errorf("store: %w", err)
+		}
+		meta.DataBytes = 0
+		return meta, size, nil
+	}
+
+	br := bufio.NewReaderSize(f, 1<<16)
+	off := int64(segHeaderLen)
+	var frame [frameLen]byte
+	var payload []byte
+	for off < size {
+		if size-off < frameLen {
+			break
+		}
+		if _, err := io.ReadFull(br, frame[:]); err != nil {
+			return nil, 0, fmt.Errorf("store: %w", err)
+		}
+		n := int64(le.Uint32(frame[0:4]))
+		sum := le.Uint32(frame[4:8])
+		if n > maxRecordBytes || off+frameLen+n > size {
+			break
+		}
+		if int64(cap(payload)) < n {
+			payload = make([]byte, n)
+		}
+		payload = payload[:n]
+		if _, err := io.ReadFull(br, payload); err != nil {
+			return nil, 0, fmt.Errorf("store: %w", err)
+		}
+		if payloadCRC(payload) != sum {
+			break
+		}
+		snap, derr := decodeSnapshot(payload)
+		if derr != nil {
+			break
+		}
+		meta.note(snap, off, frameLen+n, indexEvery)
+		off += frameLen + n
+	}
+	return meta, size - meta.DataBytes, nil
+}
+
+// loadSegMeta returns the metadata of segment n in dir, preferring the
+// sidecar index and falling back to a full scan when the sidecar is
+// missing, corrupt, version-skewed, or stale (its DataBytes no longer
+// matches the data file size — e.g. the segment is still being appended
+// to, or the sidecar survived a crash the data file did not).
+func loadSegMeta(dir string, n int, indexEvery int) (meta *segMeta, dropped int64, err error) {
+	dataPath := filepath.Join(dir, segmentName(n))
+	if raw, rerr := os.ReadFile(filepath.Join(dir, indexName(n))); rerr == nil {
+		if m, merr := unmarshalIndex(raw); merr == nil {
+			if fi, serr := os.Stat(dataPath); serr == nil && fi.Size() == m.DataBytes {
+				return m, 0, nil
+			}
+		}
+	}
+	return scanSegment(dataPath, indexEvery)
+}
+
+// writeIndexFile persists meta as segment n's sidecar index and fsyncs it.
+// The sidecar is a cache: failure to write it is reported but readers
+// survive without it.
+func writeIndexFile(dir string, n int, meta *segMeta) error {
+	path := filepath.Join(dir, indexName(n))
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	if _, err := f.Write(marshalIndex(meta)); err != nil {
+		f.Close()
+		return fmt.Errorf("store: write index %s: %w", path, err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("store: sync index %s: %w", path, err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("store: close index %s: %w", path, err)
+	}
+	return nil
+}
+
+// syncDir fsyncs a directory so freshly created files survive a crash.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil {
+		return fmt.Errorf("store: sync dir %s: %w", dir, err)
+	}
+	return nil
+}

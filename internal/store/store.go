@@ -1,0 +1,127 @@
+// Package store is the embedded, crash-tolerant persistence backend for
+// pipeline TrackSnapshots: a segmented append-only binary log with
+// checksummed framing, a per-segment sparse time index, and a query API
+// that can answer "what did sensor k see between t0 and t1?" long after
+// the run that produced the data has exited.
+//
+// On disk a store is a directory of numbered segment files
+// (seg-00000001.log, ...). Each segment starts with an 8-byte header and
+// then holds length+CRC32-framed snapshot records; a sidecar sparse index
+// (seg-00000001.idx) caches the segment's record count, time bounds,
+// sensor set and every IndexEvery-th record offset so queries can skip
+// cold data. Indexes are pure caches — a missing, stale or corrupt index
+// is silently rebuilt by scanning its segment. The full format is
+// specified in docs/STORE.md.
+//
+// Durability follows the classic write-ahead-log contract: records become
+// durable at the configured fsync cadence (Options.SyncEvery), and after a
+// crash the tail of the last segment may hold one torn or corrupt record.
+// Recovery — performed both by Open (which physically truncates the tail)
+// and by OpenReader (which ignores it) — drops only that invalid suffix;
+// every record before it is preserved bit-for-bit.
+//
+// Writers and readers are independent: a Reader opens a point-in-time view
+// of whatever prefix of the log is on disk and never blocks a live Writer.
+// Scan(sensor, t0, t1) yields one sensor's snapshots in append order
+// (which is frame order for streams recorded through a pipeline Runner);
+// Replay merges any set of sensors into a single stream ordered by
+// (EndUS, Sensor, Frame) across segment boundaries.
+package store
+
+import (
+	"errors"
+	"fmt"
+
+	"ebbiot/internal/geometry"
+)
+
+// Snapshot is the stored form of one window's tracking result from one
+// sensor stream. It mirrors pipeline.TrackSnapshot field for field; the
+// two are kept as separate types so the store depends only on geometry and
+// the pipeline can depend on the store (for StoreSink/replay) without an
+// import cycle.
+type Snapshot struct {
+	// Sensor is the stream index (must be >= 0); Name its label.
+	Sensor int
+	Name   string
+	// Frame is the window index; the window spans [StartUS, EndUS) in
+	// stream time.
+	Frame   int
+	StartUS int64
+	EndUS   int64
+	// Events is the number of events consumed in the window.
+	Events int
+	// ProcUS is the wall-clock processing time of the window in
+	// microseconds.
+	ProcUS int64
+	// Boxes are the reported track boxes at the window end.
+	Boxes []geometry.Box
+}
+
+// Options parameterise a Writer. The zero value selects the defaults.
+type Options struct {
+	// SegmentBytes rotates to a new segment once the current one reaches
+	// this size (default DefaultSegmentBytes). Rotation seals the segment:
+	// its data is fsynced and its sidecar index written.
+	SegmentBytes int64
+	// SyncEvery is the fsync cadence: n >= 1 flushes and fsyncs the data
+	// file after every n-th append; 0 (the default) fsyncs only on segment
+	// rotation and Close, leaving intermediate durability to the OS.
+	SyncEvery int
+	// IndexEvery is the sparse index stride: one index entry per
+	// IndexEvery records (default DefaultIndexEvery). Smaller strides make
+	// time-bounded scans seek more precisely at the cost of index size.
+	IndexEvery int
+}
+
+// Defaults for Options fields left zero.
+const (
+	DefaultSegmentBytes = 64 << 20
+	DefaultIndexEvery   = 64
+)
+
+func (o Options) withDefaults() Options {
+	if o.SegmentBytes <= 0 {
+		o.SegmentBytes = DefaultSegmentBytes
+	}
+	if o.SyncEvery < 0 {
+		o.SyncEvery = 0
+	}
+	if o.IndexEvery <= 0 {
+		o.IndexEvery = DefaultIndexEvery
+	}
+	return o
+}
+
+// ErrCorrupt reports a record that failed framing, checksum or decode
+// validation inside the valid region of a segment. Corruption at the tail
+// of the last segment is not an error — it is recovered by truncation.
+var ErrCorrupt = errors.New("store: corrupt record")
+
+// ErrClosed reports use of a closed Writer.
+var ErrClosed = errors.New("store: writer closed")
+
+// Iterator yields stored snapshots until io.EOF. Iterators are
+// single-goroutine; Close releases the underlying file handles and is safe
+// to call more than once.
+type Iterator interface {
+	Next() (Snapshot, error)
+	Close() error
+}
+
+// validate rejects snapshots the on-disk encoding cannot represent.
+func (s *Snapshot) validate() error {
+	if s.Sensor < 0 || int64(s.Sensor) > int64(^uint32(0)) {
+		return fmt.Errorf("store: sensor %d out of range", s.Sensor)
+	}
+	if s.Frame < 0 || int64(s.Frame) > int64(^uint32(0)) {
+		return fmt.Errorf("store: frame %d out of range", s.Frame)
+	}
+	if s.Events < 0 || int64(s.Events) > int64(^uint32(0)) {
+		return fmt.Errorf("store: event count %d out of range", s.Events)
+	}
+	if len(s.Name) > maxNameLen {
+		return fmt.Errorf("store: name length %d exceeds %d", len(s.Name), maxNameLen)
+	}
+	return nil
+}

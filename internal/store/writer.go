@@ -1,0 +1,239 @@
+package store
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// Writer appends snapshots to a store directory, rotating segments by
+// size and fsyncing at the configured cadence. It is safe for concurrent
+// use, though the pipeline invokes it from the single sink goroutine.
+type Writer struct {
+	mu   sync.Mutex
+	dir  string
+	opts Options
+
+	seg       int // current segment number
+	f         *os.File
+	bw        *bufio.Writer
+	meta      *segMeta
+	off       int64 // append offset in the current segment
+	sinceSync int
+	scratch   []byte
+	lock      *os.File // held flock guarding against concurrent writers
+	closed    bool
+}
+
+// Open creates dir if needed and returns a Writer appending to it. The
+// directory is guarded by an advisory lock for the Writer's lifetime, so
+// a second concurrent writer fails fast instead of interleaving frames
+// into the same segment. If the directory already holds segments, the
+// last one is recovered first: its valid prefix is kept, any torn or
+// corrupt tail left by a crash is physically truncated, and appending
+// resumes in place. Records from earlier runs remain and are merged at
+// query time.
+func Open(dir string, opts Options) (*Writer, error) {
+	opts = opts.withDefaults()
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	lock, err := acquireDirLock(dir)
+	if err != nil {
+		return nil, err
+	}
+	w := &Writer{dir: dir, opts: opts, lock: lock}
+	if err := w.open(); err != nil {
+		releaseDirLock(lock)
+		return nil, err
+	}
+	return w, nil
+}
+
+// open positions the Writer at the store's append point (lock held).
+func (w *Writer) open() error {
+	segs, err := listSegments(w.dir)
+	if err != nil {
+		return err
+	}
+	if len(segs) == 0 {
+		return w.createSegment(1)
+	}
+
+	last := segs[len(segs)-1]
+	path := filepath.Join(w.dir, segmentName(last))
+	meta, _, err := scanSegment(path, w.opts.IndexEvery)
+	if err != nil {
+		return err
+	}
+	if meta.DataBytes == 0 {
+		// Header itself is missing or invalid (crash between create and
+		// header write): rewrite the segment from scratch.
+		if err := os.Remove(path); err != nil {
+			return fmt.Errorf("store: %w", err)
+		}
+		return w.createSegment(last)
+	}
+	f, err := os.OpenFile(path, os.O_RDWR, 0)
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	if err := f.Truncate(meta.DataBytes); err != nil {
+		f.Close()
+		return fmt.Errorf("store: truncate %s: %w", path, err)
+	}
+	if _, err := f.Seek(meta.DataBytes, 0); err != nil {
+		f.Close()
+		return fmt.Errorf("store: %w", err)
+	}
+	w.seg, w.f, w.meta, w.off = last, f, meta, meta.DataBytes
+	w.bw = bufio.NewWriterSize(f, 1<<16)
+	return nil
+}
+
+// createSegment opens segment n fresh, writes its header and fsyncs the
+// directory so the new file name is durable.
+func (w *Writer) createSegment(n int) error {
+	path := filepath.Join(w.dir, segmentName(n))
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	if _, err := f.Write(appendSegHeader(nil)); err != nil {
+		f.Close()
+		return fmt.Errorf("store: write header %s: %w", path, err)
+	}
+	if err := syncDir(w.dir); err != nil {
+		f.Close()
+		return err
+	}
+	w.seg, w.f, w.off = n, f, segHeaderLen
+	w.meta = newSegMeta()
+	w.bw = bufio.NewWriterSize(f, 1<<16)
+	w.sinceSync = 0
+	return nil
+}
+
+// Append encodes and writes one snapshot. The snapshot is fully serialised
+// before Append returns, so the caller may reuse or mutate it (and its
+// Boxes slice) immediately afterwards.
+func (w *Writer) Append(s Snapshot) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return ErrClosed
+	}
+	if w.f == nil {
+		// A rotation sealed the old segment but failed to open the next
+		// one; the writer is wedged until reopened.
+		return fmt.Errorf("store: no open segment (previous rotation failed); reopen the store")
+	}
+	if err := s.validate(); err != nil {
+		return err
+	}
+	w.scratch = encodeSnapshot(w.scratch[:0], s)
+	payload := w.scratch
+	if len(payload) > maxRecordBytes {
+		return fmt.Errorf("store: record payload %d bytes exceeds %d", len(payload), maxRecordBytes)
+	}
+	var frame [frameLen]byte
+	le.PutUint32(frame[0:4], uint32(len(payload)))
+	le.PutUint32(frame[4:8], payloadCRC(payload))
+	if _, err := w.bw.Write(frame[:]); err != nil {
+		return fmt.Errorf("store: append: %w", err)
+	}
+	if _, err := w.bw.Write(payload); err != nil {
+		return fmt.Errorf("store: append: %w", err)
+	}
+	w.meta.note(s, w.off, int64(frameLen+len(payload)), w.opts.IndexEvery)
+	w.off += int64(frameLen + len(payload))
+	w.sinceSync++
+	if w.opts.SyncEvery > 0 && w.sinceSync >= w.opts.SyncEvery {
+		if err := w.syncLocked(); err != nil {
+			return err
+		}
+	}
+	if w.off >= w.opts.SegmentBytes {
+		return w.rotateLocked()
+	}
+	return nil
+}
+
+// Sync flushes buffered records and fsyncs the current segment, making
+// everything appended so far durable.
+func (w *Writer) Sync() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return ErrClosed
+	}
+	return w.syncLocked()
+}
+
+func (w *Writer) syncLocked() error {
+	if w.f == nil {
+		return nil // sealed: everything already flushed and fsynced
+	}
+	if err := w.bw.Flush(); err != nil {
+		return fmt.Errorf("store: flush: %w", err)
+	}
+	if err := w.f.Sync(); err != nil {
+		return fmt.Errorf("store: fsync: %w", err)
+	}
+	w.sinceSync = 0
+	return nil
+}
+
+// rotateLocked seals the current segment — flush, fsync, sidecar index —
+// and opens the next one.
+func (w *Writer) rotateLocked() error {
+	if err := w.sealLocked(); err != nil {
+		return err
+	}
+	return w.createSegment(w.seg + 1)
+}
+
+func (w *Writer) sealLocked() error {
+	if w.f == nil {
+		// Already sealed by a rotation whose successor segment failed to
+		// open; nothing further to flush or index.
+		return nil
+	}
+	if err := w.syncLocked(); err != nil {
+		return err
+	}
+	if err := w.f.Close(); err != nil {
+		return fmt.Errorf("store: close segment: %w", err)
+	}
+	w.f = nil
+	return writeIndexFile(w.dir, w.seg, w.meta)
+}
+
+// Close seals the current segment and releases the Writer and its
+// directory lock. Further calls return ErrClosed (a second Close is a
+// no-op returning nil).
+func (w *Writer) Close() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return nil
+	}
+	w.closed = true
+	err := w.sealLocked()
+	releaseDirLock(w.lock)
+	w.lock = nil
+	return err
+}
+
+// Dir returns the store directory.
+func (w *Writer) Dir() string { return w.dir }
+
+// Records returns the number of records appended to the current segment
+// (recovered records included after a reopen).
+func (w *Writer) Records() int64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.meta.Records
+}
