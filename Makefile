@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race bench bench-store vet check
+.PHONY: build test race bench bench-store bench-imgproc vet check
 
 build:
 	$(GO) build ./...
@@ -18,6 +18,12 @@ bench:
 # 1-CPU container caveats).
 bench-store:
 	$(GO) test -run xxx -bench . -benchmem ./internal/store/
+
+# Frame-kernel benchmarks: byte reference vs packed word-parallel median,
+# downsample, histograms and CCA, plus the fused EBBI window chain
+# (before/after numbers recorded in docs/EXPERIMENTS.md).
+bench-imgproc:
+	$(GO) test -run xxx -bench . -benchmem ./internal/imgproc/ ./internal/ebbi/
 
 vet:
 	$(GO) vet ./...

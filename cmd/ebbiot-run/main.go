@@ -15,11 +15,18 @@
 // or replayed in full. -store-segment-mb and -store-sync tune segment
 // rotation and the fsync cadence.
 //
+// The EBBI-based systems run the packed word-parallel frame kernels by
+// default; -reference selects the byte-per-pixel cost-model path instead
+// (identical tracking output, slower). The summary includes a per-stage
+// timing breakdown (ebbi / filter / rpn / track / sink) so kernel
+// before/after numbers are visible straight from the CLI.
+//
 // Usage:
 //
 //	ebbiot-run -in eng.aer [-system EBBIOT|KF|EBMS] [-frame-ms 66]
 //	           [-sensors N] [-workers M] [-stats stats.csv] [-json]
 //	           [-store dir] [-store-segment-mb 64] [-store-sync 0]
+//	           [-reference]
 package main
 
 import (
@@ -28,6 +35,7 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"ebbiot/internal/aedat"
 	"ebbiot/internal/core"
@@ -45,13 +53,18 @@ func main() {
 }
 
 // newSystem builds one fresh pipeline instance (each sensor stream needs its
-// own: systems are stateful).
-func newSystem(name string, res events.Resolution) (core.System, error) {
+// own: systems are stateful). reference selects the byte-per-pixel frame
+// chain for the EBBI-based systems instead of the packed fast path.
+func newSystem(name string, res events.Resolution, reference bool) (core.System, error) {
 	switch strings.ToUpper(name) {
 	case "EBBIOT":
-		return core.NewEBBIOT(core.DefaultConfig())
+		cfg := core.DefaultConfig()
+		cfg.Reference = reference
+		return core.NewEBBIOT(cfg)
 	case "KF", "EBBI+KF":
-		return core.NewEBBIKF(core.DefaultKFConfig())
+		cfg := core.DefaultKFConfig()
+		cfg.Reference = reference
+		return core.NewEBBIKF(cfg)
 	case "EBMS":
 		cfg := core.DefaultEBMSConfig()
 		cfg.Res = res
@@ -72,6 +85,7 @@ func run() error {
 	storeDir := flag.String("store", "", "record snapshots into an append-only store at this directory")
 	storeSegMB := flag.Int64("store-segment-mb", 64, "store segment rotation size in MiB")
 	storeSync := flag.Int("store-sync", 0, "store fsync cadence: every N appends (0 = rotate/close only)")
+	reference := flag.Bool("reference", false, "use the byte-per-pixel reference frame chain instead of the packed word-parallel fast path")
 	flag.Parse()
 
 	if *in == "" {
@@ -113,7 +127,7 @@ func run() error {
 		}
 	}
 	for i := range streams {
-		sys, err := newSystem(*sysName, res)
+		sys, err := newSystem(*sysName, res, *reference)
 		if err != nil {
 			return err
 		}
@@ -184,6 +198,31 @@ func run() error {
 		strings.ToUpper(*sysName), sum.Frames, sum.MeanEvents, sum.MeanProposals, sum.MeanActive, sum.MaxActive)
 	fmt.Fprintf(os.Stderr, "throughput: %d sensors x %d workers: %d windows (%.0f windows/s), %d events (%.3g events/s) in %v\n",
 		stats.Streams, stats.Workers, stats.Windows, stats.WindowsPerSec(), stats.Events, stats.EventsPerSec(), stats.Elapsed.Round(1e6))
+
+	// Per-stage breakdown: EBBI-based systems record their frame-chain
+	// stage times; the sink stage comes from the Runner. Kernel speedups
+	// are visible here directly, without a go test -bench run.
+	var agg core.StageTimings
+	for i := range streams {
+		if st, ok := streams[i].System.(core.StageTimer); ok {
+			agg = agg.Add(st.StageTimings())
+		}
+	}
+	if agg.Windows > 0 {
+		perUS := func(d time.Duration) float64 {
+			return float64(d.Microseconds()) / float64(agg.Windows)
+		}
+		sinkUS := 0.0
+		if stats.Windows > 0 {
+			sinkUS = float64(stats.SinkTime.Microseconds()) / float64(stats.Windows)
+		}
+		path := "packed"
+		if *reference {
+			path = "reference"
+		}
+		fmt.Fprintf(os.Stderr, "stage breakdown (%s path, mean µs/window over %d windows): ebbi %.1f, filter %.1f, rpn %.1f, track %.1f, sink %.1f\n",
+			path, agg.Windows, perUS(agg.EBBI), perUS(agg.Filter), perUS(agg.RPN), perUS(agg.Track), sinkUS)
+	}
 	if *storeDir != "" {
 		fmt.Fprintf(os.Stderr, "recorded %d snapshots to %s (query with: ebbiot-query -store %s)\n",
 			stats.Windows, *storeDir, *storeDir)

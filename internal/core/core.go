@@ -11,16 +11,27 @@
 // the paper evaluates them (boxes sampled at fixed intervals, Section
 // III-B). EBMS processes events within the window event-by-event — its
 // per-event nature is preserved; only the reporting is frame-aligned.
+//
+// The EBBI-based systems run their frame chain in one of two
+// representations. The default is the packed fast path: events accumulate
+// straight into a 64-pixel-per-word EBBI and the median, histograms and
+// validity checks are word-parallel popcount kernels (imgproc.PackedBitmap),
+// with no byte-per-pixel frame ever materialized. Setting Reference selects
+// the byte-per-pixel path instead, which matches the paper's cost-model
+// accounting (Eq. 1) and serves as the differential-test oracle; the two
+// paths are bit-identical by construction and by test.
 package core
 
 import (
 	"fmt"
+	"time"
 
 	"ebbiot/internal/ebbi"
 	"ebbiot/internal/ebms"
 	"ebbiot/internal/events"
 	"ebbiot/internal/filter"
 	"ebbiot/internal/geometry"
+	"ebbiot/internal/imgproc"
 	"ebbiot/internal/kalman"
 	"ebbiot/internal/roe"
 	"ebbiot/internal/rpn"
@@ -48,14 +59,54 @@ type System interface {
 	ProcessWindow(evs []events.Event) ([]geometry.Box, error)
 }
 
+// StageTimings accumulates per-stage wall-clock over the windows a system
+// has processed, the breakdown behind the paper's duty-cycle active slice:
+// EBBI accumulation, median filtering, region proposal and tracker step.
+// Mean per-window times are totals divided by Windows.
+type StageTimings struct {
+	// Windows is the number of ProcessWindow calls accumulated.
+	Windows int64
+	// EBBI is time spent latching events into the frame.
+	EBBI time.Duration
+	// Filter is time spent in the binary median (the Finish call).
+	Filter time.Duration
+	// RPN is time spent in region proposal (including ROE masking).
+	RPN time.Duration
+	// Track is time spent stepping the tracker.
+	Track time.Duration
+}
+
+// Add returns the element-wise sum, for aggregating across streams.
+func (t StageTimings) Add(o StageTimings) StageTimings {
+	return StageTimings{
+		Windows: t.Windows + o.Windows,
+		EBBI:    t.EBBI + o.EBBI,
+		Filter:  t.Filter + o.Filter,
+		RPN:     t.RPN + o.RPN,
+		Track:   t.Track + o.Track,
+	}
+}
+
+// StageTimer is implemented by systems that record per-stage timings
+// (EBBIOT and EBBI+KF); the ebbiot-run CLI uses it for the throughput
+// breakdown.
+type StageTimer interface {
+	StageTimings() StageTimings
+}
+
 // Config parameterises the EBBIOT pipeline.
 type Config struct {
 	EBBI    ebbi.Config
 	RPN     rpn.Config
 	Tracker tracker.Config
+	// Reference selects the byte-per-pixel frame chain — the paper's
+	// cost-model accounting path — instead of the packed word-parallel
+	// fast path. Tracking output is bit-identical either way.
+	Reference bool
 }
 
-// DefaultConfig returns the paper's full parameter set.
+// DefaultConfig returns the paper's full parameter set on the packed fast
+// path.
 func DefaultConfig() Config {
 	return Config{
 		EBBI:    ebbi.DefaultConfig(),
@@ -70,33 +121,161 @@ func (c Config) WithROE(mask *roe.Mask) Config {
 	return c
 }
 
+// frontend is the EBBI + RPN front end shared by the EBBIOT and EBBI+KF
+// systems, in either frame representation. Exactly one of builder/pbuilder
+// is non-nil.
+type frontend struct {
+	builder  *ebbi.Builder       // reference byte-per-pixel path
+	pbuilder *ebbi.PackedBuilder // packed word-parallel fast path
+	proposer *rpn.Proposer
+	mask     *roe.Mask
+	timings  StageTimings
+
+	// lastFrame / lastPacked retain the most recent frame for
+	// visualisation; valid when lastValid.
+	lastFrame  ebbi.Frame
+	lastPacked ebbi.PackedFrame
+	lastValid  bool
+	// rawScratch/filtScratch hold the lazily unpacked byte frames handed
+	// out by frame() on the fast path.
+	rawScratch, filtScratch *imgproc.Bitmap
+}
+
+func newFrontend(ecfg ebbi.Config, rcfg rpn.Config, mask *roe.Mask, reference bool) (*frontend, error) {
+	p, err := rpn.New(rcfg)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	f := &frontend{proposer: p, mask: mask}
+	if reference {
+		f.builder, err = ebbi.NewBuilder(ecfg)
+	} else {
+		f.pbuilder, err = ebbi.NewPackedBuilder(ecfg)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	return f, nil
+}
+
+// process runs accumulate + filter + mask + propose for one window,
+// recording per-stage times. The caller accounts the tracker stage itself
+// via trackTime.
+func (f *frontend) process(evs []events.Event) (rpn.Result, error) {
+	t0 := time.Now()
+	var res rpn.Result
+	if f.pbuilder != nil {
+		f.pbuilder.Accumulate(evs)
+		t1 := time.Now()
+		frame, err := f.pbuilder.Finish()
+		if err != nil {
+			return rpn.Result{}, fmt.Errorf("core: ebbi: %w", err)
+		}
+		t2 := time.Now()
+		// Exclusion zones are blanked in the image before region proposal:
+		// the histograms project over full rows/columns, so distractor
+		// pixels anywhere in a column would otherwise contaminate every
+		// proposal.
+		if f.mask != nil {
+			f.mask.MaskPacked(frame.Filtered)
+		}
+		res, err = f.proposer.ProposePacked(frame.Filtered)
+		if err != nil {
+			return rpn.Result{}, fmt.Errorf("core: rpn: %w", err)
+		}
+		t3 := time.Now()
+		f.lastPacked = frame
+		f.timings.EBBI += t1.Sub(t0)
+		f.timings.Filter += t2.Sub(t1)
+		f.timings.RPN += t3.Sub(t2)
+	} else {
+		f.builder.Accumulate(evs)
+		t1 := time.Now()
+		frame, err := f.builder.Finish()
+		if err != nil {
+			return rpn.Result{}, fmt.Errorf("core: ebbi: %w", err)
+		}
+		t2 := time.Now()
+		if f.mask != nil {
+			f.mask.MaskBitmap(frame.Filtered)
+		}
+		res, err = f.proposer.Propose(frame.Filtered)
+		if err != nil {
+			return rpn.Result{}, fmt.Errorf("core: rpn: %w", err)
+		}
+		t3 := time.Now()
+		f.lastFrame = frame
+		f.timings.EBBI += t1.Sub(t0)
+		f.timings.Filter += t2.Sub(t1)
+		f.timings.RPN += t3.Sub(t2)
+	}
+	f.lastValid = true
+	f.timings.Windows++
+	return res, nil
+}
+
+func (f *frontend) trackTime(d time.Duration) { f.timings.Track += d }
+
+// frame returns the most recent EBBI frame in byte form. On the reference
+// path it aliases the builder's double buffer directly; on the fast path the
+// packed frame is unpacked into scratch bitmaps on demand (visualisation is
+// off the hot path, so the conversion cost lands only on callers that ask).
+// Valid until the next process call; nil before the first window.
+func (f *frontend) frame() *ebbi.Frame {
+	if !f.lastValid {
+		return nil
+	}
+	if f.builder != nil {
+		return &f.lastFrame
+	}
+	pf := f.lastPacked
+	f.rawScratch = pf.Raw.Unpack(f.rawScratch)
+	f.filtScratch = pf.Filtered.Unpack(f.filtScratch)
+	f.lastFrame = ebbi.Frame{
+		Index:      pf.Index,
+		Start:      pf.Start,
+		End:        pf.End,
+		Raw:        f.rawScratch,
+		Filtered:   f.filtScratch,
+		EventCount: pf.EventCount,
+	}
+	return &f.lastFrame
+}
+
+// close releases the frame double buffer back to its pool.
+func (f *frontend) close() {
+	if f.builder != nil {
+		f.builder.Release()
+		f.builder = nil
+	}
+	if f.pbuilder != nil {
+		f.pbuilder.Release()
+		f.pbuilder = nil
+	}
+	f.lastValid = false
+}
+
 // EBBIOT is the paper's pipeline.
 type EBBIOT struct {
-	builder  *ebbi.Builder
-	proposer *rpn.Proposer
-	tracker  *tracker.Tracker
-	// lastFrame retains the most recent filtered frame for visualisation.
-	lastFrame *ebbi.Frame
-	lastRPN   rpn.Result
+	front   *frontend
+	tracker *tracker.Tracker
+	lastRPN rpn.Result
 }
 
 var _ System = (*EBBIOT)(nil)
+var _ StageTimer = (*EBBIOT)(nil)
 
 // NewEBBIOT builds the pipeline.
 func NewEBBIOT(cfg Config) (*EBBIOT, error) {
-	b, err := ebbi.NewBuilder(cfg.EBBI)
-	if err != nil {
-		return nil, fmt.Errorf("core: %w", err)
-	}
-	p, err := rpn.New(cfg.RPN)
-	if err != nil {
-		return nil, fmt.Errorf("core: %w", err)
-	}
 	tr, err := tracker.New(cfg.Tracker)
 	if err != nil {
 		return nil, fmt.Errorf("core: %w", err)
 	}
-	return &EBBIOT{builder: b, proposer: p, tracker: tr}, nil
+	front, err := newFrontend(cfg.EBBI, cfg.RPN, cfg.Tracker.ROE, cfg.Reference)
+	if err != nil {
+		return nil, err
+	}
+	return &EBBIOT{front: front, tracker: tr}, nil
 }
 
 // Name implements System.
@@ -105,24 +284,14 @@ func (e *EBBIOT) Name() string { return "EBBIOT" }
 // ProcessWindow implements System: latch the window's events into the EBBI,
 // median-filter, propose regions and step the overlap tracker.
 func (e *EBBIOT) ProcessWindow(evs []events.Event) ([]geometry.Box, error) {
-	e.builder.Accumulate(evs)
-	frame, err := e.builder.Finish()
+	res, err := e.front.process(evs)
 	if err != nil {
-		return nil, fmt.Errorf("core: ebbi: %w", err)
+		return nil, err
 	}
-	// Exclusion zones are blanked in the image before region proposal:
-	// the histograms project over full rows/columns, so distractor pixels
-	// anywhere in a column would otherwise contaminate every proposal.
-	if mask := e.tracker.Config().ROE; mask != nil {
-		mask.MaskBitmap(frame.Filtered)
-	}
-	res, err := e.proposer.Propose(frame.Filtered)
-	if err != nil {
-		return nil, fmt.Errorf("core: rpn: %w", err)
-	}
-	e.lastFrame = &frame
 	e.lastRPN = res
+	t0 := time.Now()
 	reports := e.tracker.Step(res.Boxes())
+	e.front.trackTime(time.Since(t0))
 	out := make([]geometry.Box, len(reports))
 	for i, r := range reports {
 		out[i] = r.Box
@@ -130,36 +299,38 @@ func (e *EBBIOT) ProcessWindow(evs []events.Event) ([]geometry.Box, error) {
 	return out, nil
 }
 
-// Close returns the pipeline's EBBI double buffer to the bitmap pool.
-// The system — and any frame previously returned by LastFrame, which
-// aliases those buffers — must not be used afterwards. Callers that churn
-// through many short-lived systems (evaluation grids, benchmarks) should
-// Close each one so the pool actually recycles.
-func (e *EBBIOT) Close() {
-	e.builder.Release()
-	e.lastFrame = nil
-}
+// Close returns the pipeline's EBBI double buffer to its pool. The system —
+// and any frame previously returned by LastFrame, which may alias those
+// buffers — must not be used afterwards. Callers that churn through many
+// short-lived systems (evaluation grids, benchmarks) should Close each one
+// so the pool actually recycles.
+func (e *EBBIOT) Close() { e.front.close() }
 
 // Tracker exposes the underlying overlap tracker for instrumentation.
 func (e *EBBIOT) Tracker() *tracker.Tracker { return e.tracker }
 
-// LastFrame returns the most recent EBBI frame (aliases internal buffers;
-// valid until the next ProcessWindow).
-func (e *EBBIOT) LastFrame() *ebbi.Frame { return e.lastFrame }
+// LastFrame returns the most recent EBBI frame in byte form (aliases
+// internal buffers; valid until the next ProcessWindow). On the packed fast
+// path the frame is unpacked on demand, so callers only pay for conversion
+// on the frames they actually inspect.
+func (e *EBBIOT) LastFrame() *ebbi.Frame { return e.front.frame() }
 
 // LastRPN returns the most recent region-proposal result.
 func (e *EBBIOT) LastRPN() rpn.Result { return e.lastRPN }
 
+// StageTimings implements StageTimer.
+func (e *EBBIOT) StageTimings() StageTimings { return e.front.timings }
+
 // EBBIKF is the EBBI + Kalman-filter comparison pipeline.
 type EBBIKF struct {
-	builder  *ebbi.Builder
-	proposer *rpn.Proposer
+	front    *frontend
 	tracker  *kalman.Tracker
 	mask     *roe.Mask
 	maxCover float64
 }
 
 var _ System = (*EBBIKF)(nil)
+var _ StageTimer = (*EBBIKF)(nil)
 
 // KFConfig parameterises the EBBI+KF pipeline.
 type KFConfig struct {
@@ -170,6 +341,8 @@ type KFConfig struct {
 	// comparison.
 	ROE         *roe.Mask
 	ROEMaxCover float64
+	// Reference selects the byte-per-pixel frame chain (see Config).
+	Reference bool
 }
 
 // DefaultKFConfig returns the comparison configuration.
@@ -184,47 +357,40 @@ func DefaultKFConfig() KFConfig {
 
 // NewEBBIKF builds the pipeline.
 func NewEBBIKF(cfg KFConfig) (*EBBIKF, error) {
-	b, err := ebbi.NewBuilder(cfg.EBBI)
-	if err != nil {
-		return nil, fmt.Errorf("core: %w", err)
-	}
-	p, err := rpn.New(cfg.RPN)
-	if err != nil {
-		return nil, fmt.Errorf("core: %w", err)
-	}
 	tr, err := kalman.New(cfg.Tracker)
 	if err != nil {
 		return nil, fmt.Errorf("core: %w", err)
 	}
-	return &EBBIKF{builder: b, proposer: p, tracker: tr, mask: cfg.ROE, maxCover: cfg.ROEMaxCover}, nil
+	front, err := newFrontend(cfg.EBBI, cfg.RPN, cfg.ROE, cfg.Reference)
+	if err != nil {
+		return nil, err
+	}
+	return &EBBIKF{front: front, tracker: tr, mask: cfg.ROE, maxCover: cfg.ROEMaxCover}, nil
 }
 
 // Name implements System.
 func (e *EBBIKF) Name() string { return "EBBI+KF" }
 
-// Close returns the pipeline's EBBI double buffer to the bitmap pool; the
-// system must not be used afterwards.
-func (e *EBBIKF) Close() { e.builder.Release() }
+// Close returns the pipeline's EBBI double buffer to its pool; the system
+// must not be used afterwards.
+func (e *EBBIKF) Close() { e.front.close() }
+
+// StageTimings implements StageTimer.
+func (e *EBBIKF) StageTimings() StageTimings { return e.front.timings }
 
 // ProcessWindow implements System.
 func (e *EBBIKF) ProcessWindow(evs []events.Event) ([]geometry.Box, error) {
-	e.builder.Accumulate(evs)
-	frame, err := e.builder.Finish()
+	res, err := e.front.process(evs)
 	if err != nil {
-		return nil, fmt.Errorf("core: ebbi: %w", err)
-	}
-	if e.mask != nil {
-		e.mask.MaskBitmap(frame.Filtered)
-	}
-	res, err := e.proposer.Propose(frame.Filtered)
-	if err != nil {
-		return nil, fmt.Errorf("core: rpn: %w", err)
+		return nil, err
 	}
 	boxes := res.Boxes()
 	if e.mask != nil {
 		boxes = e.mask.FilterBoxes(boxes, e.maxCover)
 	}
+	t0 := time.Now()
 	reports, err := e.tracker.Step(boxes)
+	e.front.trackTime(time.Since(t0))
 	if err != nil {
 		return nil, fmt.Errorf("core: kalman: %w", err)
 	}

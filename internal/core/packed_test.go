@@ -1,0 +1,112 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"ebbiot/internal/events"
+	"ebbiot/internal/geometry"
+	"ebbiot/internal/roe"
+	"ebbiot/internal/scene"
+	"ebbiot/internal/sensor"
+)
+
+// runBoth replays the same simulated recording through a fast-path and a
+// reference-path system and returns the per-window box sequences.
+func runBoth(t *testing.T, fast, ref System, sc *scene.Scene, seed uint64) (fastBoxes, refBoxes [][]geometry.Box) {
+	t.Helper()
+	cfg := sensor.DefaultConfig(seed)
+	cfg.NoiseRatePerPixelHz = 1.0
+	sim, err := sensor.New(cfg, sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for cursor := int64(0); cursor+66_000 <= sc.DurationUS; cursor += 66_000 {
+		evs, err := sim.Events(cursor, cursor+66_000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fb, err := fast.ProcessWindow(evs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rb, err := ref.ProcessWindow(evs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fastBoxes = append(fastBoxes, fb)
+		refBoxes = append(refBoxes, rb)
+	}
+	return fastBoxes, refBoxes
+}
+
+// TestEBBIOTPackedMatchesReference replays a two-object crossing scene (with
+// an ROE zone installed, so the packed masking path runs too) through the
+// default packed pipeline and the byte reference pipeline: every window's
+// reported tracks must be identical, and so must the lazily unpacked frames.
+func TestEBBIOTPackedMatchesReference(t *testing.T) {
+	mask := roe.New(geometry.NewBox(0, 160, 60, 20))
+	fast, err := NewEBBIOT(DefaultConfig().WithROE(mask))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fast.Close()
+	refCfg := DefaultConfig().WithROE(mask)
+	refCfg.Reference = true
+	ref, err := NewEBBIOT(refCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ref.Close()
+
+	sc := scene.CrossingScene(events.DAVIS240, 3_000_000)
+	fastBoxes, refBoxes := runBoth(t, fast, ref, sc, 21)
+	if !reflect.DeepEqual(fastBoxes, refBoxes) {
+		t.Fatalf("packed and reference EBBIOT diverged:\nfast %v\nref  %v", fastBoxes, refBoxes)
+	}
+
+	ff, rf := fast.LastFrame(), ref.LastFrame()
+	if ff == nil || rf == nil {
+		t.Fatal("LastFrame nil after processing")
+	}
+	if ff.Index != rf.Index || ff.EventCount != rf.EventCount {
+		t.Fatalf("frame metadata mismatch: %d/%d vs %d/%d", ff.Index, ff.EventCount, rf.Index, rf.EventCount)
+	}
+	if !ff.Raw.Equal(rf.Raw) || !ff.Filtered.Equal(rf.Filtered) {
+		t.Fatal("unpacked LastFrame differs from reference frame")
+	}
+	if !reflect.DeepEqual(fast.LastRPN().Proposals, ref.LastRPN().Proposals) {
+		t.Fatal("LastRPN proposals differ between paths")
+	}
+
+	st := fast.StageTimings()
+	if st.Windows == 0 || st.Filter <= 0 || st.RPN <= 0 {
+		t.Fatalf("stage timings not recorded: %+v", st)
+	}
+}
+
+// TestEBBIKFPackedMatchesReference does the same for the Kalman comparison
+// system.
+func TestEBBIKFPackedMatchesReference(t *testing.T) {
+	fast, err := NewEBBIKF(DefaultKFConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fast.Close()
+	refCfg := DefaultKFConfig()
+	refCfg.Reference = true
+	ref, err := NewEBBIKF(refCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ref.Close()
+
+	sc := scene.SingleObjectScene(events.DAVIS240, 2_000_000)
+	fastBoxes, refBoxes := runBoth(t, fast, ref, sc, 33)
+	if !reflect.DeepEqual(fastBoxes, refBoxes) {
+		t.Fatalf("packed and reference EBBI+KF diverged:\nfast %v\nref  %v", fastBoxes, refBoxes)
+	}
+	if fast.StageTimings().Windows == 0 {
+		t.Fatal("stage timings not recorded")
+	}
+}

@@ -1,0 +1,116 @@
+package ebbi
+
+import (
+	"fmt"
+
+	"ebbiot/internal/events"
+	"ebbiot/internal/imgproc"
+)
+
+// PackedFrame is the output of one readout interrupt on the word-parallel
+// fast path: the same frame clock and event count as Frame, with the raw and
+// filtered EBBIs held packed (64 pixels per word) so the downstream RPN
+// kernels consume them without ever materializing byte-per-pixel frames.
+type PackedFrame struct {
+	// Index is the frame sequence number (Start / FrameUS).
+	Index int
+	// Start, End bound the accumulation window [Start, End) in microseconds.
+	Start, End int64
+	// Raw is the unfiltered EBBI, kept per Eq. 1 for later classification.
+	Raw *imgproc.PackedBitmap
+	// Filtered is the median-filtered EBBI consumed by the RPN.
+	Filtered *imgproc.PackedBitmap
+	// EventCount is the number of events accumulated.
+	EventCount int
+}
+
+// PackedBuilder is Builder for the packed fast path: events are latched
+// straight into the packed raw frame (one OR per event) and Finish runs the
+// word-parallel median, so the whole per-window frame chain stays in the
+// packed domain. Semantics — frame clock, deferred clearing, buffer
+// aliasing, zero steady-state allocation — mirror Builder exactly, and
+// differential tests hold the two paths bit-identical.
+type PackedBuilder struct {
+	cfg      Config
+	raw      *imgproc.PackedBitmap
+	filtered *imgproc.PackedBitmap
+	frameIdx int
+	count    int
+	// needsClear defers zeroing the raw buffer until the next frame starts,
+	// so the PackedFrame returned by Finish stays readable until then.
+	needsClear bool
+}
+
+// NewPackedBuilder returns a PackedBuilder for the given configuration. The
+// double buffer comes from the shared packed pool; call Release when the
+// builder is no longer needed.
+func NewPackedBuilder(cfg Config) (*PackedBuilder, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &PackedBuilder{
+		cfg:      cfg,
+		raw:      imgproc.GetPacked(cfg.Res.A, cfg.Res.B),
+		filtered: imgproc.GetPacked(cfg.Res.A, cfg.Res.B),
+	}, nil
+}
+
+// Release returns the builder's double buffer to the packed pool. The
+// builder — and any PackedFrame it has returned, which aliases those
+// buffers — must not be used afterwards.
+func (b *PackedBuilder) Release() {
+	imgproc.PutPacked(b.raw)
+	imgproc.PutPacked(b.filtered)
+	b.raw, b.filtered = nil, nil
+}
+
+// Config returns the builder's configuration.
+func (b *PackedBuilder) Config() Config { return b.cfg }
+
+// Accumulate latches a batch of events into the current frame: each in-array
+// event ORs one bit into the packed raw EBBI. Events outside the sensor
+// array are ignored; polarity is ignored (the EBBI is binary).
+func (b *PackedBuilder) Accumulate(evs []events.Event) {
+	if b.needsClear {
+		b.raw.Clear()
+		b.needsClear = false
+	}
+	a, bb := b.cfg.Res.A, b.cfg.Res.B
+	stride := b.raw.Stride
+	words := b.raw.Words
+	for _, e := range evs {
+		x, y := int(e.X), int(e.Y)
+		if x >= 0 && x < a && y >= 0 && y < bb {
+			words[y*stride+x>>6] |= uint64(1) << (uint(x) & 63)
+			b.count++
+		}
+	}
+}
+
+// Finish runs the word-parallel median filter and returns the completed
+// frame, then resets the accumulator for the next frame window. The returned
+// frame's bitmaps alias the builder's double buffer and are valid only until
+// the next Finish call; callers that need to retain a frame must Clone.
+func (b *PackedBuilder) Finish() (PackedFrame, error) {
+	if b.needsClear {
+		// No events arrived this frame; the buffer still holds the previous
+		// frame's image and must be cleared before filtering.
+		b.raw.Clear()
+		b.needsClear = false
+	}
+	if err := imgproc.PackedMedianFilter(b.filtered, b.raw, b.cfg.MedianP); err != nil {
+		return PackedFrame{}, fmt.Errorf("ebbi: median filter: %w", err)
+	}
+	f := PackedFrame{
+		Index:      b.frameIdx,
+		Start:      int64(b.frameIdx) * b.cfg.FrameUS,
+		End:        int64(b.frameIdx+1) * b.cfg.FrameUS,
+		Raw:        b.raw,
+		Filtered:   b.filtered,
+		EventCount: b.count,
+	}
+	b.frameIdx++
+	b.count = 0
+	b.needsClear = true
+	return f, nil
+}

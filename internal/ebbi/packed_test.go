@@ -1,0 +1,92 @@
+package ebbi
+
+import (
+	"math/rand"
+	"testing"
+
+	"ebbiot/internal/events"
+)
+
+// TestPackedBuilderParity drives the byte and packed builders through the
+// same window sequence — including empty windows, which exercise the
+// deferred clear — and asserts every frame is bit-identical.
+func TestPackedBuilderParity(t *testing.T) {
+	cfg := DefaultConfig()
+	ref, err := NewBuilder(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ref.Release()
+	fast, err := NewPackedBuilder(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fast.Release()
+
+	rng := rand.New(rand.NewSource(7))
+	for frame := 0; frame < 6; frame++ {
+		var evs []events.Event
+		if frame != 2 { // frame 2 stays empty
+			n := rng.Intn(400)
+			for i := 0; i < n; i++ {
+				evs = append(evs, events.Event{
+					// Out-of-range coordinates on some events: both paths
+					// must ignore them identically.
+					X: int16(rng.Intn(cfg.Res.A+20) - 10),
+					Y: int16(rng.Intn(cfg.Res.B+20) - 10),
+				})
+			}
+		}
+		ref.Accumulate(evs)
+		fast.Accumulate(evs)
+		rf, err := ref.Finish()
+		if err != nil {
+			t.Fatal(err)
+		}
+		pf, err := fast.Finish()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rf.Index != pf.Index || rf.Start != pf.Start || rf.End != pf.End || rf.EventCount != pf.EventCount {
+			t.Fatalf("frame %d: metadata mismatch: byte {%d %d %d %d} packed {%d %d %d %d}",
+				frame, rf.Index, rf.Start, rf.End, rf.EventCount, pf.Index, pf.Start, pf.End, pf.EventCount)
+		}
+		if !pf.Raw.Unpack(nil).Equal(rf.Raw) {
+			t.Fatalf("frame %d: raw EBBI mismatch", frame)
+		}
+		if !pf.Filtered.Unpack(nil).Equal(rf.Filtered) {
+			t.Fatalf("frame %d: filtered EBBI mismatch", frame)
+		}
+	}
+}
+
+func TestPackedBuilderValidates(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.MedianP = 2
+	if _, err := NewPackedBuilder(cfg); err == nil {
+		t.Fatal("even median patch size not rejected")
+	}
+}
+
+// BenchmarkPackedAccumulateFinish is BenchmarkAccumulateFinish on the
+// packed fast path: the same ~typical busy frame through the fused
+// accumulate + word-parallel median chain.
+func BenchmarkPackedAccumulateFinish(b *testing.B) {
+	builder, err := NewPackedBuilder(DefaultConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer builder.Release()
+	evs := make([]events.Event, 2400) // ~typical busy frame
+	for i := range evs {
+		evs[i] = events.Event{X: int16(i % 240), Y: int16((i / 240) % 180), T: int64(i), P: events.On}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		builder.Accumulate(evs)
+		if _, err := builder.Finish(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

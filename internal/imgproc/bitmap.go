@@ -3,11 +3,15 @@
 // downsampling, X/Y histograms, connected-component analysis and simple
 // morphology.
 //
-// All operations work on the Bitmap type, a dense one-byte-per-pixel binary
-// image. A byte per pixel (rather than a packed bit per pixel) matches how
-// an embedded implementation would hold the working frame in SRAM for
-// constant-time access, and keeps the per-pixel compute counts aligned with
-// the paper's cost model (Eq. 1).
+// Two representations coexist. Bitmap is a dense one-byte-per-pixel binary
+// image: a byte per pixel matches how an embedded implementation would hold
+// the working frame in SRAM for constant-time access, and keeps the
+// per-pixel compute counts aligned with the paper's cost model (Eq. 1); it
+// is also the differential-test oracle. PackedBitmap stores 64 pixels per
+// uint64 word and backs the word-parallel fast path: the same kernels
+// reformulated as shifts and popcounts (math/bits.OnesCount64), which the
+// streaming pipeline runs per window. Differential tests and a fuzz target
+// hold the two bit-identical.
 package imgproc
 
 import (
@@ -41,11 +45,7 @@ func (b *Bitmap) Clone() *Bitmap {
 
 // Clear zeroes every pixel in place, reusing the backing array so a
 // double-buffered pipeline allocates nothing per frame.
-func (b *Bitmap) Clear() {
-	for i := range b.Pix {
-		b.Pix[i] = 0
-	}
-}
+func (b *Bitmap) Clear() { clear(b.Pix) }
 
 // In reports whether (x, y) is inside the image.
 func (b *Bitmap) In(x, y int) bool { return x >= 0 && x < b.W && y >= 0 && y < b.H }

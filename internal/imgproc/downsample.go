@@ -66,17 +66,23 @@ func DownsampleInto(dst *CountImage, src *Bitmap, s1, s2 int) (*CountImage, erro
 		}
 	}
 	for j := 0; j < h; j++ {
-		for i := 0; i < w; i++ {
+		outRow := out.Pix[j*w : (j+1)*w]
+		rowBase := j * s2 * src.W
+		for i := range outRow {
+			// The block sum accumulates in a register and stores once; the
+			// per-block sub-slices carry the bounds check out of the inner
+			// pixel loop.
 			var sum uint16
+			off := rowBase + i*s1
 			for n := 0; n < s2; n++ {
-				row := (j*s2 + n) * src.W
-				for m := 0; m < s1; m++ {
-					if src.Pix[row+i*s1+m] != 0 {
+				for _, px := range src.Pix[off : off+s1] {
+					if px != 0 {
 						sum++
 					}
 				}
+				off += src.W
 			}
-			out.Pix[j*w+i] = sum
+			outRow[i] = sum
 		}
 	}
 	return out, nil
@@ -114,9 +120,7 @@ func resizeInts(buf []int, n int) []int {
 		return make([]int, n)
 	}
 	buf = buf[:n]
-	for i := range buf {
-		buf[i] = 0
-	}
+	clear(buf)
 	return buf
 }
 

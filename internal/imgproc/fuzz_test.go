@@ -1,0 +1,88 @@
+package imgproc
+
+import "testing"
+
+// FuzzPackedKernels asserts the packed word-parallel kernels stay
+// bit-identical to the byte-per-pixel reference on arbitrary frames. The
+// fuzzer controls the image width (forcing non-multiple-of-64 rows and
+// word-boundary straddles), the pixel contents, the median patch size and
+// the downsampling factors; the byte path is itself cross-checked against
+// the literal O(p^2) median so a shared bug in both fast paths cannot hide.
+func FuzzPackedKernels(f *testing.F) {
+	f.Add(uint8(240), uint8(1), uint8(2), uint8(1), []byte("\x01\x00\xff seed"))
+	f.Add(uint8(64), uint8(0), uint8(5), uint8(2), []byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff})
+	f.Add(uint8(65), uint8(2), uint8(31), uint8(31), []byte{0x80, 0x01})
+	f.Add(uint8(1), uint8(4), uint8(0), uint8(0), []byte{1})
+	f.Add(uint8(127), uint8(3), uint8(63), uint8(2), []byte{0xaa, 0x55, 0xaa, 0x55, 0xaa, 0x55})
+	f.Fuzz(func(t *testing.T, wRaw, pRaw, s1Raw, s2Raw uint8, pix []byte) {
+		w := int(wRaw)%200 + 1
+		h := len(pix)/w + 1
+		if h > 200 {
+			h = 200
+		}
+		p := 2*(int(pRaw)%6) + 1             // odd, 1..11
+		s1, s2 := int(s1Raw)+1, int(s2Raw)+1 // 1..256, may exceed W/H
+
+		src := NewBitmap(w, h)
+		for i := range src.Pix {
+			if i < len(pix) && pix[i]&1 != 0 {
+				src.Pix[i] = 1
+			}
+		}
+		psrc := PackBitmap(nil, src)
+		checkTailInvariant(t, psrc)
+
+		// Median: naive oracle vs byte sliding vs packed.
+		want := NewBitmap(w, h)
+		medianNaive(want, src, p)
+		got := NewBitmap(w, h)
+		if err := MedianFilter(got, src, p); err != nil {
+			t.Fatal(err)
+		}
+		if !got.Equal(want) {
+			t.Fatalf("byte median != naive (w=%d h=%d p=%d)", w, h, p)
+		}
+		pdst := NewPackedBitmap(w, h)
+		if err := PackedMedianFilter(pdst, psrc, p); err != nil {
+			t.Fatal(err)
+		}
+		if !pdst.Unpack(nil).Equal(want) {
+			t.Fatalf("packed median != naive (w=%d h=%d p=%d)", w, h, p)
+		}
+		checkTailInvariant(t, pdst)
+
+		// Downsample + histograms.
+		wantDS, err := Downsample(src, s1, s2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gotDS, err := PackedDownsample(psrc, s1, s2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if gotDS.W != wantDS.W || gotDS.H != wantDS.H {
+			t.Fatalf("downsample size (%d,%d) != (%d,%d)", gotDS.W, gotDS.H, wantDS.W, wantDS.H)
+		}
+		for i := range wantDS.Pix {
+			if gotDS.Pix[i] != wantDS.Pix[i] {
+				t.Fatalf("downsample block %d: %d != %d (w=%d h=%d s1=%d s2=%d)", i, gotDS.Pix[i], wantDS.Pix[i], w, h, s1, s2)
+			}
+		}
+		wantHX, wantHY := Histograms(wantDS)
+		gotHX, gotHY, err := PackedHistograms(psrc, s1, s2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !intsEqual(gotHX, wantHX) || !intsEqual(gotHY, wantHY) {
+			t.Fatalf("histograms mismatch (w=%d h=%d s1=%d s2=%d)", w, h, s1, s2)
+		}
+
+		// CCA and whole-image popcount.
+		if !componentsEqual(PackedConnectedComponents(psrc), ConnectedComponents(src)) {
+			t.Fatalf("CCA mismatch (w=%d h=%d)", w, h)
+		}
+		if psrc.CountOnes() != src.CountOnes() {
+			t.Fatalf("CountOnes mismatch (w=%d h=%d)", w, h)
+		}
+	})
+}

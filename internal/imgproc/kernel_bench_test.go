@@ -1,0 +1,158 @@
+package imgproc
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// benchFrame builds a DAVIS240-sized frame that looks like a filtered EBBI
+// from the traffic recordings: a few dense object patches over sparse
+// salt-and-pepper background noise (about 2% overall density).
+func benchFrame(w, h int) *Bitmap {
+	rng := rand.New(rand.NewSource(42))
+	b := NewBitmap(w, h)
+	type patch struct{ x, y, pw, ph int }
+	for _, p := range []patch{{60, 70, 25, 25}, {92, 70, 28, 25}, {150, 110, 40, 20}, {20, 30, 10, 16}} {
+		for y := p.y; y < p.y+p.ph && y < h; y++ {
+			for x := p.x; x < p.x+p.pw && x < w; x++ {
+				if rng.Float64() < 0.6 {
+					b.Set(x, y)
+				}
+			}
+		}
+	}
+	for i := 0; i < w*h/100; i++ {
+		b.Set(rng.Intn(w), rng.Intn(h))
+	}
+	return b
+}
+
+func BenchmarkMedianByte(b *testing.B) {
+	for _, p := range []int{3, 5} {
+		p := p
+		b.Run(benchP(p), func(b *testing.B) {
+			src := benchFrame(240, 180)
+			dst := NewBitmap(240, 180)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := MedianFilter(dst, src, p); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkDownsampleByte(b *testing.B) {
+	src := benchFrame(240, 180)
+	dst := NewCountImage(40, 60)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := DownsampleInto(dst, src, 6, 3); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkHistogramsByte(b *testing.B) {
+	src := benchFrame(240, 180)
+	scaled, err := Downsample(src, 6, 3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var hx, hy []int
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		hx, hy = HistogramsInto(hx, hy, scaled)
+	}
+}
+
+func BenchmarkCCAByte(b *testing.B) {
+	src := benchFrame(240, 180)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if len(ConnectedComponents(src)) == 0 {
+			b.Fatal("no components")
+		}
+	}
+}
+
+func benchP(p int) string {
+	if p == 3 {
+		return "p=3"
+	}
+	return "p=5"
+}
+
+func BenchmarkMedianPacked(b *testing.B) {
+	for _, p := range []int{3, 5} {
+		p := p
+		b.Run(benchP(p), func(b *testing.B) {
+			src := PackBitmap(nil, benchFrame(240, 180))
+			dst := NewPackedBitmap(240, 180)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := PackedMedianFilter(dst, src, p); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkDownsamplePacked(b *testing.B) {
+	src := PackBitmap(nil, benchFrame(240, 180))
+	dst := NewCountImage(40, 60)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := PackedDownsampleInto(dst, src, 6, 3); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkHistogramsPacked covers the fused downsample+histogram kernel,
+// so its byte-path comparison point is DownsampleByte + HistogramsByte
+// combined.
+func BenchmarkHistogramsPacked(b *testing.B) {
+	src := PackBitmap(nil, benchFrame(240, 180))
+	var hx, hy []int
+	var err error
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		hx, hy, err = PackedHistogramsInto(hx, hy, src, 6, 3)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCCAPacked(b *testing.B) {
+	src := PackBitmap(nil, benchFrame(240, 180))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if len(PackedConnectedComponents(src)) == 0 {
+			b.Fatal("no components")
+		}
+	}
+}
+
+func BenchmarkPackUnpack(b *testing.B) {
+	src := benchFrame(240, 180)
+	var p *PackedBitmap
+	var back *Bitmap
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p = PackBitmap(p, src)
+		back = p.Unpack(back)
+	}
+}

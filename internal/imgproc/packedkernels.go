@@ -1,0 +1,415 @@
+package imgproc
+
+import (
+	"fmt"
+	"math/bits"
+	"sort"
+
+	"ebbiot/internal/geometry"
+)
+
+// PackedMedianFilter is MedianFilter over the packed representation: the
+// same p x p binary median (output = 1 when the patch count exceeds
+// floor(p^2/2), pixels outside the image counting 0), computed in O(1) per
+// pixel with separable sliding sums. Column counts over the vertical window
+// are maintained incrementally by adding/removing one row per step — and
+// because EBBI frames are sparse, row updates iterate only the set bits of
+// each word. The output row is assembled 64 pixels per word.
+//
+// dst and src must be distinct packed bitmaps of the same size; p must be
+// odd and >= 1.
+func PackedMedianFilter(dst, src *PackedBitmap, p int) error {
+	if p < 1 || p%2 == 0 {
+		return fmt.Errorf("imgproc: median patch size must be odd and positive, got %d", p)
+	}
+	if dst == src {
+		return fmt.Errorf("imgproc: median filter cannot run in place")
+	}
+	if dst.W != src.W || dst.H != src.H {
+		return fmt.Errorf("imgproc: size mismatch dst %dx%d vs src %dx%d", dst.W, dst.H, src.W, src.H)
+	}
+	w, h := src.W, src.H
+	if w == 0 || h == 0 {
+		return nil
+	}
+	half := p / 2
+	thresh := int32((p * p) / 2)
+	colp := getColCounts(w)
+	defer putColCounts(colp)
+	col := *colp
+
+	// Seed the vertical window for output row 0: source rows [0, half].
+	top := half
+	if top >= h {
+		top = h - 1
+	}
+	for r := 0; r <= top; r++ {
+		addPackedRow(col, src.Row(r))
+	}
+	for y := 0; y < h; y++ {
+		out := dst.Row(y)
+		// EBBI frames are sparse: most vertical windows cover only a narrow
+		// band of set columns (or none). Bound the horizontal slide to the
+		// union span of set bits in the window's rows — found by scanning
+		// whole words — and emit zero words elsewhere: outside the span
+		// every patch count is zero, which never clears the > thresh test.
+		lo, hi := w, -1
+		yLo, yHi := y-half, y+half
+		if yLo < 0 {
+			yLo = 0
+		}
+		if yHi >= h {
+			yHi = h - 1
+		}
+		for r := yLo; r <= yHi; r++ {
+			if f, l, ok := rowSpan(src.Row(r)); ok {
+				if f < lo {
+					lo = f
+				}
+				if l > hi {
+					hi = l
+				}
+			}
+		}
+		clear(out)
+		if hi >= 0 {
+			x0, x1 := lo-half, hi+half+1
+			if x0 < 0 {
+				x0 = 0
+			}
+			if x1 > w {
+				x1 = w
+			}
+			var sum int32
+			for x := x0 - half; x <= x0+half; x++ {
+				if x >= 0 && x < w {
+					sum += col[x]
+				}
+			}
+			for x := x0; x < x1; x++ {
+				if sum > thresh {
+					out[x>>6] |= uint64(1) << (uint(x) & 63)
+				}
+				if nx := x + half + 1; nx < w {
+					sum += col[nx]
+				}
+				if ox := x - half; ox >= 0 {
+					sum -= col[ox]
+				}
+			}
+		}
+		// Slide the vertical window to be centred on y+1.
+		if ny := y + half + 1; ny < h {
+			addPackedRow(col, src.Row(ny))
+		}
+		if oy := y - half; oy >= 0 {
+			subPackedRow(col, src.Row(oy))
+		}
+	}
+	return nil
+}
+
+// rowSpan returns the first and last set bit positions of a packed row; ok
+// is false for an empty row.
+func rowSpan(row []uint64) (first, last int, ok bool) {
+	i := 0
+	for i < len(row) && row[i] == 0 {
+		i++
+	}
+	if i == len(row) {
+		return 0, 0, false
+	}
+	first = i<<6 + bits.TrailingZeros64(row[i])
+	j := len(row) - 1
+	for row[j] == 0 {
+		j--
+	}
+	last = j<<6 + 63 - bits.LeadingZeros64(row[j])
+	return first, last, true
+}
+
+// addPackedRow increments the column counters for every set bit of a packed
+// row, visiting only set bits.
+func addPackedRow(col []int32, row []uint64) {
+	for k, w := range row {
+		base := k << 6
+		for w != 0 {
+			col[base+bits.TrailingZeros64(w)]++
+			w &= w - 1
+		}
+	}
+}
+
+// subPackedRow decrements the column counters for every set bit of a packed
+// row.
+func subPackedRow(col []int32, row []uint64) {
+	for k, w := range row {
+		base := k << 6
+		for w != 0 {
+			col[base+bits.TrailingZeros64(w)]--
+			w &= w - 1
+		}
+	}
+}
+
+// PackedDownsample is Downsample over the packed representation.
+func PackedDownsample(src *PackedBitmap, s1, s2 int) (*CountImage, error) {
+	return PackedDownsampleInto(nil, src, s1, s2)
+}
+
+// PackedDownsampleInto computes the block-sum scaled image of Eq. 3 from a
+// packed bitmap: each s1-wide block count is a masked popcount instead of s1
+// byte loads. dst is resized (reusing its backing array when large enough)
+// and returned; pass nil to allocate.
+func PackedDownsampleInto(dst *CountImage, src *PackedBitmap, s1, s2 int) (*CountImage, error) {
+	if s1 <= 0 || s2 <= 0 {
+		return nil, fmt.Errorf("imgproc: scale factors must be positive, got s1=%d s2=%d", s1, s2)
+	}
+	w := src.W / s1
+	h := src.H / s2
+	out := dst
+	if out == nil {
+		out = NewCountImage(w, h)
+	} else {
+		out.W, out.H = w, h
+		if cap(out.Pix) < w*h {
+			out.Pix = make([]uint16, w*h)
+		} else {
+			out.Pix = out.Pix[:w*h]
+		}
+	}
+	blockMask := blockPopMask(s1)
+	for j := 0; j < h; j++ {
+		outRow := out.Pix[j*w : (j+1)*w]
+		clear(outRow)
+		for n := 0; n < s2; n++ {
+			row := src.Row(j*s2 + n)
+			if rowEmpty(row) {
+				continue
+			}
+			if blockMask != 0 {
+				off := 0
+				for i := range outRow {
+					outRow[i] += uint16(bits.OnesCount64(fetchBits(row, off) & blockMask))
+					off += s1
+				}
+			} else {
+				for i := range outRow {
+					outRow[i] += uint16(popcountRange(row, i*s1, i*s1+s1))
+				}
+			}
+		}
+	}
+	return out, nil
+}
+
+// blockPopMask returns the s1-bit block mask for the fast block-popcount
+// path, or 0 when s1 is too wide for a single 64-bit fetch.
+func blockPopMask(s1 int) uint64 {
+	if s1 >= 64 {
+		return 0
+	}
+	return (uint64(1) << uint(s1)) - 1
+}
+
+// fetchBits returns 64 row bits starting at bit offset off (short at the row
+// end). Hand-inlined two-word fetch: the block kernels call it once per
+// downsampled block.
+func fetchBits(row []uint64, off int) uint64 {
+	k, sh := off>>6, uint(off)&63
+	v := row[k] >> sh
+	if sh != 0 && k+1 < len(row) {
+		v |= row[k+1] << (64 - sh)
+	}
+	return v
+}
+
+// PackedHistograms computes the X/Y projections of Eq. 4 directly from a
+// packed bitmap at downsampling factors (s1, s2).
+func PackedHistograms(src *PackedBitmap, s1, s2 int) (hx, hy []int, err error) {
+	return PackedHistogramsInto(nil, nil, src, s1, s2)
+}
+
+// PackedHistogramsInto fuses Downsample and Histograms: block popcounts are
+// accumulated straight into the X histogram and each block row's total into
+// the Y histogram, so the intermediate scaled image is never materialized.
+// The results are bit-identical to DownsampleInto + HistogramsInto on the
+// unpacked image. Scratch slices are reused when large enough.
+func PackedHistogramsInto(hxBuf, hyBuf []int, src *PackedBitmap, s1, s2 int) (hx, hy []int, err error) {
+	if s1 <= 0 || s2 <= 0 {
+		return nil, nil, fmt.Errorf("imgproc: scale factors must be positive, got s1=%d s2=%d", s1, s2)
+	}
+	w := src.W / s1
+	h := src.H / s2
+	hx = resizeInts(hxBuf, w)
+	hy = resizeInts(hyBuf, h)
+	blockMask := blockPopMask(s1)
+	for j := 0; j < h; j++ {
+		total := 0
+		for n := 0; n < s2; n++ {
+			row := src.Row(j*s2 + n)
+			if rowEmpty(row) {
+				continue
+			}
+			if blockMask != 0 {
+				off := 0
+				for i := range hx {
+					c := bits.OnesCount64(fetchBits(row, off) & blockMask)
+					hx[i] += c
+					total += c
+					off += s1
+				}
+			} else {
+				for i := range hx {
+					c := popcountRange(row, i*s1, i*s1+s1)
+					hx[i] += c
+					total += c
+				}
+			}
+		}
+		hy[j] = total
+	}
+	return hx, hy, nil
+}
+
+// rowEmpty reports whether a packed row has no set bits.
+func rowEmpty(row []uint64) bool {
+	var or uint64
+	for _, w := range row {
+		or |= w
+	}
+	return or == 0
+}
+
+// packedRun is one maximal horizontal run [start, end) of set pixels on row
+// y, the unit of the run-extraction CCA.
+type packedRun struct {
+	y, start, end int32
+	label         int32
+}
+
+// PackedConnectedComponents labels the 8-connected regions of a packed
+// bitmap and returns the same Components (largest first) as
+// ConnectedComponents on the unpacked image. Instead of visiting pixels it
+// extracts maximal set-bit runs per word (TrailingZeros skips zero spans in
+// one step) and unions runs of adjacent rows that touch under
+// 8-connectivity, so the work scales with the number of runs, not W x H.
+func PackedConnectedComponents(p *PackedBitmap) []Component {
+	if p.W == 0 || p.H == 0 {
+		return nil
+	}
+	var runs []packedRun
+	parent := make([]int32, 0, 64)
+	find := func(x int32) int32 {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]] // path halving
+			x = parent[x]
+		}
+		return x
+	}
+	union := func(a, b int32) int32 {
+		ra, rb := find(a), find(b)
+		if ra == rb {
+			return ra
+		}
+		if ra < rb {
+			parent[rb] = ra
+			return ra
+		}
+		parent[ra] = rb
+		return rb
+	}
+
+	prevStart, prevEnd := 0, 0 // index range of the previous row's runs
+	for y := 0; y < p.H; y++ {
+		rowStart := len(runs)
+		row := p.Row(y)
+		for k, w := range row {
+			base := int32(k << 6)
+			x := int32(0)
+			for w != 0 {
+				tz := int32(bits.TrailingZeros64(w))
+				w >>= uint(tz)
+				x += tz
+				n := int32(bits.TrailingZeros64(^w)) // run length; 64 when w is all ones
+				s, e := base+x, base+x+n
+				if len(runs) > rowStart && runs[len(runs)-1].end == s {
+					runs[len(runs)-1].end = e // run continues across the word boundary
+				} else {
+					runs = append(runs, packedRun{y: int32(y), start: s, end: e, label: -1})
+				}
+				w >>= uint(n) // shift >= 64 is defined as 0 in Go
+				x += n
+			}
+		}
+		// Match this row's runs against the previous row's with two
+		// pointers: runs [s1,e1) and [s2,e2) on adjacent rows are
+		// 8-connected iff s1 <= e2 && s2 <= e1.
+		pi := prevStart
+		for ri := rowStart; ri < len(runs); ri++ {
+			r := &runs[ri]
+			for pi < prevEnd && runs[pi].end < r.start {
+				pi++
+			}
+			for pj := pi; pj < prevEnd && runs[pj].start <= r.end; pj++ {
+				if r.label < 0 {
+					r.label = find(runs[pj].label)
+				} else {
+					r.label = union(r.label, runs[pj].label)
+				}
+			}
+			if r.label < 0 {
+				r.label = int32(len(parent))
+				parent = append(parent, r.label)
+			}
+		}
+		prevStart, prevEnd = rowStart, len(runs)
+	}
+
+	// Resolve roots and accumulate bounding boxes run-at-a-time.
+	type acc struct {
+		minX, minY, maxX, maxY int32
+		size                   int
+	}
+	accs := make([]acc, len(parent))
+	for _, r := range runs {
+		root := find(r.label)
+		a := &accs[root]
+		if a.size == 0 {
+			*a = acc{minX: r.start, minY: r.y, maxX: r.end - 1, maxY: r.y}
+		}
+		a.size += int(r.end - r.start)
+		if r.start < a.minX {
+			a.minX = r.start
+		}
+		if r.end-1 > a.maxX {
+			a.maxX = r.end - 1
+		}
+		if r.y < a.minY {
+			a.minY = r.y
+		}
+		if r.y > a.maxY {
+			a.maxY = r.y
+		}
+	}
+	out := make([]Component, 0, 16)
+	for _, a := range accs {
+		if a.size == 0 {
+			continue
+		}
+		out = append(out, Component{
+			Box:  geometry.NewBox(int(a.minX), int(a.minY), int(a.maxX-a.minX+1), int(a.maxY-a.minY+1)),
+			Size: a.size,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Size != out[j].Size {
+			return out[i].Size > out[j].Size
+		}
+		if out[i].Box.X != out[j].Box.X {
+			return out[i].Box.X < out[j].Box.X
+		}
+		return out[i].Box.Y < out[j].Box.Y
+	})
+	return out
+}

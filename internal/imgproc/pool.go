@@ -31,3 +31,25 @@ func PutBitmap(b *Bitmap) {
 	}
 	bitmapPool.Put(b)
 }
+
+// packedPool recycles PackedBitmap backing arrays, mirroring bitmapPool for
+// the word-parallel fast path's EBBI double buffers.
+var packedPool = sync.Pool{New: func() any { return new(PackedBitmap) }}
+
+// GetPacked returns a cleared w x h packed bitmap, reusing a pooled backing
+// array when one of sufficient capacity is available. Release it with
+// PutPacked once no references to it (or its Words slice) remain.
+func GetPacked(w, h int) *PackedBitmap {
+	p := packedPool.Get().(*PackedBitmap)
+	p.Resize(w, h)
+	return p
+}
+
+// PutPacked returns a packed bitmap to the pool. The caller must not use p
+// (or retain its Words slice) afterwards.
+func PutPacked(p *PackedBitmap) {
+	if p == nil {
+		return
+	}
+	packedPool.Put(p)
+}

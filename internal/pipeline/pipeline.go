@@ -103,6 +103,10 @@ type Stats struct {
 	// Boxes is the total reported track boxes across all snapshots.
 	Boxes   int64
 	Elapsed time.Duration
+	// SinkTime is the total wall-clock spent inside Sink.Consume on the
+	// single sink goroutine — the "sink" stage of the per-window timing
+	// breakdown (divide by Windows for the per-window mean).
+	SinkTime time.Duration
 }
 
 // EventsPerSec returns the aggregate event throughput.
@@ -187,7 +191,9 @@ func (r *Runner) Run(ctx context.Context, streams []Stream, sink Sink) (Stats, e
 	work := make(chan int)
 	start := time.Now()
 
-	// Single sink consumer: non-thread-safe sinks stay simple.
+	// Single sink consumer: non-thread-safe sinks stay simple. sinkTime is
+	// written only here and read after sinkWG.Wait below.
+	var sinkTime time.Duration
 	var sinkWG sync.WaitGroup
 	sinkWG.Add(1)
 	go func() {
@@ -196,7 +202,10 @@ func (r *Runner) Run(ctx context.Context, streams []Stream, sink Sink) (Stats, e
 			if sink == nil {
 				continue
 			}
-			if err := sink.Consume(snap); err != nil {
+			t0 := time.Now()
+			err := sink.Consume(snap)
+			sinkTime += time.Since(t0)
+			if err != nil {
 				fail(fmt.Errorf("pipeline: sink: %w", err))
 				// Keep draining so workers never block forever.
 			}
@@ -241,12 +250,13 @@ dispatch:
 		firstErr = ctx.Err()
 	}
 	return Stats{
-		Streams: len(streams),
-		Workers: workers,
-		Windows: windows.Load(),
-		Events:  evs.Load(),
-		Boxes:   boxes.Load(),
-		Elapsed: time.Since(start),
+		Streams:  len(streams),
+		Workers:  workers,
+		Windows:  windows.Load(),
+		Events:   evs.Load(),
+		Boxes:    boxes.Load(),
+		Elapsed:  time.Since(start),
+		SinkTime: sinkTime,
 	}, firstErr
 }
 

@@ -145,6 +145,14 @@ func (m *Mask) MaskBitmap(b *imgproc.Bitmap) {
 	}
 }
 
+// MaskPacked is MaskBitmap for the packed fast path: each zone row is
+// blanked with word-masked stores instead of per-pixel writes.
+func (m *Mask) MaskPacked(p *imgproc.PackedBitmap) {
+	for _, z := range m.zones {
+		p.ClearRange(z.X, z.Y, z.MaxX(), z.MaxY())
+	}
+}
+
 // FilterEvents returns the events outside all exclusion zones, preserving
 // order — the event-domain analogue of MaskBitmap, applied by the EBMS
 // pipeline. The result is a fresh slice.

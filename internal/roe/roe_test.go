@@ -157,3 +157,26 @@ func TestFilterEvents(t *testing.T) {
 		t.Error("FilterEvents must not alias the input")
 	}
 }
+
+// TestMaskPackedParity holds MaskPacked bit-identical to MaskBitmap across
+// zones that straddle word boundaries and the image border.
+func TestMaskPackedParity(t *testing.T) {
+	m := New(
+		geometry.NewBox(60, 2, 10, 5),   // inside one word
+		geometry.NewBox(50, 8, 100, 4),  // spans multiple words
+		geometry.NewBox(-5, -5, 10, 10), // hangs off the image
+		geometry.NewBox(230, 170, 40, 40),
+	)
+	b := imgproc.NewBitmap(240, 180)
+	for y := 0; y < b.H; y++ {
+		for x := y % 3; x < b.W; x += 3 {
+			b.Set(x, y)
+		}
+	}
+	p := imgproc.PackBitmap(nil, b)
+	m.MaskBitmap(b)
+	m.MaskPacked(p)
+	if !p.Unpack(nil).Equal(b) {
+		t.Fatal("MaskPacked differs from MaskBitmap")
+	}
+}

@@ -121,6 +121,43 @@ func (p *Proposer) Propose(img *imgproc.Bitmap) (Result, error) {
 	}
 	p.scaled = scaled
 	hx, hy := imgproc.HistogramsInto(p.hx, p.hy, scaled)
+	return p.propose(hx, hy,
+		func(b geometry.Box) int { return countPixels(img, b) },
+		func(b geometry.Box) geometry.Box { return tightenBox(img, b) },
+	), nil
+}
+
+// ProposePacked runs the full RPN on a packed filtered EBBI — the
+// word-parallel fast path. The downsample and both histograms collapse into
+// one fused pass of block popcounts (the scaled image is never
+// materialized), and the validity check and box tightening use masked
+// popcounts and first/last-set-bit scans. The Result is bit-identical to
+// Propose on the unpacked image and carries the same aliasing contract: HX
+// and HY alias scratch buffers valid until the next call.
+func (p *Proposer) ProposePacked(img *imgproc.PackedBitmap) (Result, error) {
+	hx, hy, err := imgproc.PackedHistogramsInto(p.hx, p.hy, img, p.cfg.S1, p.cfg.S2)
+	if err != nil {
+		return Result{}, fmt.Errorf("rpn: %w", err)
+	}
+	return p.propose(hx, hy,
+		func(b geometry.Box) int {
+			return img.CountRange(b.X, b.Y, b.MaxX(), b.MaxY())
+		},
+		func(b geometry.Box) geometry.Box {
+			if x0, y0, x1, y1, ok := img.TightBounds(b.X, b.Y, b.MaxX(), b.MaxY()); ok {
+				return geometry.BoxFromCorners(x0, y0, x1, y1)
+			}
+			return b
+		},
+	), nil
+}
+
+// propose finishes the RPN from the computed histograms: run extraction,
+// gap merging, and the run intersection with validity check and optional
+// tightening. count and tighten are the representation-specific image
+// primitives, so the byte and packed paths share one copy of the proposal
+// rules and cannot silently diverge.
+func (p *Proposer) propose(hx, hy []int, count func(geometry.Box) int, tighten func(geometry.Box) geometry.Box) Result {
 	p.hx, p.hy = hx, hy
 	xr := imgproc.FindRuns(hx, p.cfg.Threshold)
 	yr := imgproc.FindRuns(hy, p.cfg.Threshold)
@@ -143,12 +180,12 @@ func (p *Proposer) Propose(img *imgproc.Bitmap) (Result, error) {
 			if box.W < p.cfg.MinW || box.H < p.cfg.MinH {
 				continue
 			}
-			px := countPixels(img, box)
+			px := count(box)
 			if px < p.cfg.MinValidPixels {
 				continue
 			}
 			if p.cfg.Tighten {
-				box = tightenBox(img, box)
+				box = tighten(box)
 				if box.W < p.cfg.MinW || box.H < p.cfg.MinH {
 					continue
 				}
@@ -156,7 +193,7 @@ func (p *Proposer) Propose(img *imgproc.Bitmap) (Result, error) {
 			res.Proposals = append(res.Proposals, Proposal{Box: box, Pixels: px})
 		}
 	}
-	return res, nil
+	return res
 }
 
 // Boxes is a convenience returning only the proposal boxes.
