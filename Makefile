@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race bench bench-store bench-imgproc vet check
+.PHONY: build test race bench bench-store bench-imgproc vet check smoke-control
 
 build:
 	$(GO) build ./...
@@ -27,5 +27,13 @@ bench-imgproc:
 
 vet:
 	$(GO) vet ./...
+
+# End-to-end control-plane smoke (also run by CI): start a paced synthetic
+# run with the HTTP control plane, exercise every endpoint against the live
+# run — including a PATCH that must bump the version and an invalid PATCH
+# that must 400 — and require a clean exit.
+smoke-control:
+	$(GO) build -o bin/ ./cmd/ebbiot-run
+	./scripts/smoke-control.sh
 
 check: build vet test

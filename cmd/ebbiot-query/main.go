@@ -11,7 +11,11 @@
 //	replay  merge any set of sensors in timestamp order and feed them back
 //	        through the pipeline sinks — the offline re-evaluation path;
 //	        prints the same per-frame trace summary as a live run and can
-//	        dump per-frame statistics with -stats
+//	        dump per-frame statistics with -stats. With -speed the replay is
+//	        paced on the recorded clock (1 = recorded speed) and with -http
+//	        the control plane's monitoring endpoints (/healthz, /stats,
+//	        /streams/{id}, /metrics) observe it live, exactly like a live
+//	        run — /params answers 404 since a replay has no live parameters
 //	verify  rescan every record's framing and checksum, reporting any
 //	        invalid tail a crash left behind (exit status 1 if found)
 //
@@ -19,18 +23,22 @@
 //
 //	ebbiot-query -store dir [-mode list|scan|replay|verify]
 //	             [-sensor N] [-sensors 0,2,5] [-from us] [-to us]
-//	             [-json] [-stats stats.csv]
+//	             [-json] [-stats stats.csv] [-speed X] [-http :8080]
 package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"math"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
 
+	"ebbiot/internal/control"
 	"ebbiot/internal/pipeline"
 	"ebbiot/internal/store"
 	"ebbiot/internal/trace"
@@ -52,6 +60,8 @@ func run() error {
 	to := flag.Int64("to", math.MaxInt64, "window overlap upper bound in microseconds (exclusive)")
 	jsonOut := flag.Bool("json", false, "emit JSON Lines snapshots instead of CSV rows")
 	statsPath := flag.String("stats", "", "per-frame statistics CSV output for -mode replay (first sensor)")
+	speed := flag.Float64("speed", 0, "pace -mode replay at recorded wall-clock speed times this factor (0 = full speed)")
+	httpAddr := flag.String("http", "", "serve live monitoring of -mode replay on this address")
 	flag.Parse()
 
 	if *storeDir == "" {
@@ -66,11 +76,20 @@ func run() error {
 		}
 		return scan(*storeDir, *sensor, *from, *to, *jsonOut)
 	case "replay":
+		if *speed < 0 {
+			return fmt.Errorf("-speed must be >= 0 (0 = full speed), got %v", *speed)
+		}
+		// ReplayOptions treats T1 <= 0 as "no upper bound"; the flag's
+		// contract is a literal exclusive bound, so reject values that
+		// would silently invert into a full replay.
+		if *to <= 0 {
+			return fmt.Errorf("-to must be positive (exclusive upper bound in µs), got %d", *to)
+		}
 		sensors, err := parseSensors(*sensorList)
 		if err != nil {
 			return err
 		}
-		return replay(*storeDir, sensors, *from, *to, *jsonOut, *statsPath)
+		return replay(*storeDir, sensors, *from, *to, *jsonOut, *statsPath, *speed, *httpAddr)
 	case "verify":
 		return verify(*storeDir)
 	default:
@@ -143,7 +162,7 @@ func scan(dir string, sensor int, from, to int64, jsonOut bool) error {
 	return nil
 }
 
-func replay(dir string, sensors []int, from, to int64, jsonOut bool, statsPath string) error {
+func replay(dir string, sensors []int, from, to int64, jsonOut bool, statsPath string, speed float64, httpAddr string) error {
 	r, err := store.OpenReader(dir)
 	if err != nil {
 		return err
@@ -153,8 +172,40 @@ func replay(dir string, sensors []int, from, to int64, jsonOut bool, statsPath s
 		return err
 	}
 	ts := pipeline.NewTraceSink()
-	stats, err := pipeline.ReplayStore(context.Background(), r, sensors, from, to,
-		pipeline.MultiSink{out, ts})
+
+	// A paced replay can run for minutes; the first SIGINT/SIGTERM stops it
+	// at the next snapshot with sinks flushed (the summary below still
+	// prints), and stop() re-arms default disposition so a second signal
+	// kills the process.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	context.AfterFunc(ctx, stop)
+
+	// Live monitoring: the replay publishes into a RunStatus, which serves
+	// the same observation endpoints as a live run (no /params — a replay
+	// has no live parameters to retune).
+	status := pipeline.NewRunStatus(1)
+	if httpAddr != "" {
+		addr, shutdown, err := control.Serve(httpAddr, control.NewServer(nil, status).Handler(),
+			func(serr error) { fmt.Fprintln(os.Stderr, "ebbiot-query: monitor server:", serr) })
+		if err != nil {
+			return err
+		}
+		defer shutdown()
+		fmt.Fprintf(os.Stderr, "monitoring on http://%s (healthz, stats, streams/{id}, metrics)\n", addr)
+	}
+
+	stats, err := pipeline.ReplayStoreWith(ctx, r, pipeline.MultiSink{out, ts}, pipeline.ReplayOptions{
+		Sensors: sensors,
+		T0:      from,
+		T1:      to,
+		Speed:   speed,
+		Status:  status,
+	})
+	if ctx.Err() != nil && errors.Is(err, context.Canceled) {
+		fmt.Fprintln(os.Stderr, "ebbiot-query: interrupted — sinks flushed; partial summary follows")
+		err = nil
+	}
 	if err != nil {
 		return err
 	}

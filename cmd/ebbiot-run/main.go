@@ -1,13 +1,26 @@
-// Command ebbiot-run replays a recorded AER file through one of the three
-// tracking pipelines via the streaming pipeline runtime and prints the
-// per-frame track boxes (CSV to stdout, one row per box, with a sensor
-// column).
+// Command ebbiot-run replays a recorded AER file (or synthesises a scene)
+// through one of the three tracking pipelines via the streaming pipeline
+// runtime and prints the per-frame track boxes (CSV to stdout, one row per
+// box, with a sensor column).
 //
 // With -sensors N > 1 the recording is decoded once and replayed as N
 // independent sensor streams sharded across -workers worker goroutines —
 // each stream drives its own system instance — which exercises the
 // multi-sensor Runner and measures aggregate throughput. A summary with
 // events/s and windows/s is printed to stderr either way.
+//
+// With -http ADDR the run carries a live control plane: GET /healthz,
+// /stats, /streams/{id} and Prometheus /metrics observe the run while it is
+// in flight, and GET/PATCH /params reads and retunes the per-stream
+// parameters (tF, RPN thresholds, tracker gating) live — changes land at
+// the next window boundary with clean-restart semantics (see
+// docs/CONTROL.md). With -pace the sources release windows at recorded
+// wall-clock speed (scaled by -speed), so a replay behaves like a live
+// deployment instead of finishing in milliseconds.
+//
+// The process shuts down gracefully on SIGINT/SIGTERM: streams stop at the
+// next window, sinks are drained and flushed, and partial stats are printed
+// instead of dying mid-write.
 //
 // With -store DIR every snapshot is additionally persisted into the
 // embedded append-only snapshot store (internal/store), so the run can be
@@ -23,24 +36,31 @@
 //
 // Usage:
 //
-//	ebbiot-run -in eng.aer [-system EBBIOT|KF|EBMS] [-frame-ms 66]
+//	ebbiot-run -in eng.aer | -scene MS
+//	           [-system EBBIOT|KF|EBMS] [-frame-ms 66]
 //	           [-sensors N] [-workers M] [-stats stats.csv] [-json]
 //	           [-store dir] [-store-segment-mb 64] [-store-sync 0]
-//	           [-reference]
+//	           [-http :8080] [-pace] [-speed 1.0] [-reference]
 package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	"ebbiot/internal/aedat"
+	"ebbiot/internal/control"
 	"ebbiot/internal/core"
 	"ebbiot/internal/events"
 	"ebbiot/internal/pipeline"
+	"ebbiot/internal/scene"
+	"ebbiot/internal/sensor"
 	"ebbiot/internal/store"
 	"ebbiot/internal/trace"
 )
@@ -53,16 +73,18 @@ func main() {
 }
 
 // newSystem builds one fresh pipeline instance (each sensor stream needs its
-// own: systems are stateful). reference selects the byte-per-pixel frame
-// chain for the EBBI-based systems instead of the packed fast path.
-func newSystem(name string, res events.Resolution, reference bool) (core.System, error) {
+// own: systems are stateful) from the live parameter set, so the /params
+// endpoint reports exactly what the systems run. reference selects the
+// byte-per-pixel frame chain for the EBBI-based systems instead of the
+// packed fast path.
+func newSystem(name string, res events.Resolution, reference bool, ps control.ParamSet) (core.System, error) {
 	switch strings.ToUpper(name) {
 	case "EBBIOT":
-		cfg := core.DefaultConfig()
+		cfg := ps.Apply(core.DefaultConfig())
 		cfg.Reference = reference
 		return core.NewEBBIOT(cfg)
 	case "KF", "EBBI+KF":
-		cfg := core.DefaultKFConfig()
+		cfg := ps.ApplyKF(core.DefaultKFConfig())
 		cfg.Reference = reference
 		return core.NewEBBIKF(cfg)
 	case "EBMS":
@@ -75,7 +97,8 @@ func newSystem(name string, res events.Resolution, reference bool) (core.System,
 }
 
 func run() error {
-	in := flag.String("in", "", "input AER file (required)")
+	in := flag.String("in", "", "input AER file (this or -scene is required)")
+	sceneMS := flag.Int64("scene", 0, "synthesise a single-object scene of this many milliseconds instead of reading -in")
 	sysName := flag.String("system", "EBBIOT", "pipeline: EBBIOT, KF or EBMS")
 	frameMS := flag.Int64("frame-ms", 66, "frame duration tF in milliseconds")
 	statsPath := flag.String("stats", "", "optional per-frame statistics CSV output (first sensor)")
@@ -85,36 +108,81 @@ func run() error {
 	storeDir := flag.String("store", "", "record snapshots into an append-only store at this directory")
 	storeSegMB := flag.Int64("store-segment-mb", 64, "store segment rotation size in MiB")
 	storeSync := flag.Int("store-sync", 0, "store fsync cadence: every N appends (0 = rotate/close only)")
+	httpAddr := flag.String("http", "", "serve the control plane (healthz/stats/streams/params/metrics) on this address")
+	pace := flag.Bool("pace", false, "release windows at recorded wall-clock speed instead of as fast as possible")
+	speed := flag.Float64("speed", 1.0, "pacing speed multiplier with -pace (1 = recorded speed)")
 	reference := flag.Bool("reference", false, "use the byte-per-pixel reference frame chain instead of the packed word-parallel fast path")
 	flag.Parse()
 
-	if *in == "" {
-		return fmt.Errorf("-in is required")
+	if (*in == "") == (*sceneMS == 0) {
+		return fmt.Errorf("exactly one of -in or -scene is required")
 	}
 	if *sensors < 1 {
 		return fmt.Errorf("-sensors must be at least 1")
 	}
-	f, err := os.Open(*in)
+
+	// Graceful shutdown: the first SIGINT/SIGTERM cancels the run context;
+	// streams stop at the next window boundary, the Runner drains the
+	// fan-in and flushes every sink, and partial stats are printed below.
+	// Once the context is canceled, stop() restores the default signal
+	// disposition, so a second signal kills the process the usual way even
+	// if a sink is wedged.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	context.AfterFunc(ctx, stop)
+
+	// The live parameter set every stream consults; /params serves and
+	// retunes it when -http is given.
+	ps := control.Defaults()
+	ps.FrameUS = *frameMS * 1000
+	paramStore, err := control.NewParamStore(ps)
 	if err != nil {
 		return err
 	}
-	defer f.Close()
+	ps = paramStore.Load()
 
 	// One stream per sensor. A single sensor streams the file incrementally;
-	// replicated sensors decode it once and shard in-memory slices.
+	// replicated sensors decode it once and shard in-memory slices. Scene
+	// mode synthesises one deterministic simulator per sensor.
 	var streams []pipeline.Stream
 	collectors := make([]trace.Collector, *sensors)
 	var res events.Resolution
-	if *sensors == 1 {
+	switch {
+	case *sceneMS > 0:
+		res = events.DAVIS240
+		durUS := *sceneMS * 1000
+		sc := scene.SingleObjectScene(res, durUS)
+		for i := 0; i < *sensors; i++ {
+			sim, err := sensor.New(sensor.DefaultConfig(42+uint64(i)), sc)
+			if err != nil {
+				return err
+			}
+			src, err := pipeline.NewSceneSource(sim, durUS)
+			if err != nil {
+				return err
+			}
+			streams = append(streams, pipeline.Stream{Source: src})
+		}
+	case *sensors == 1:
+		f, err := os.Open(*in)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
 		r, err := aedat.NewReader(f)
 		if err != nil {
 			return err
 		}
 		res = r.Resolution()
 		streams = append(streams, pipeline.Stream{Source: pipeline.NewAEDATSource(r)})
-	} else {
+	default:
+		f, err := os.Open(*in)
+		if err != nil {
+			return err
+		}
 		var evs []events.Event
 		res, evs, err = aedat.Read(f)
+		f.Close()
 		if err != nil {
 			return err
 		}
@@ -127,7 +195,7 @@ func run() error {
 		}
 	}
 	for i := range streams {
-		sys, err := newSystem(*sysName, res, *reference)
+		sys, err := newSystem(*sysName, res, *reference, ps)
 		if err != nil {
 			return err
 		}
@@ -141,6 +209,18 @@ func run() error {
 			}
 			col.Record(fs)
 			return nil
+		}
+	}
+	if *pace {
+		if *speed <= 0 {
+			return fmt.Errorf("-speed must be positive, got %v", *speed)
+		}
+		for i := range streams {
+			paced, err := pipeline.NewPacedSource(streams[i].Source, pipeline.PaceConfig{Speed: *speed, Done: ctx.Done()})
+			if err != nil {
+				return err
+			}
+			streams[i].Source = paced
 		}
 	}
 
@@ -167,16 +247,35 @@ func run() error {
 		sink = pipeline.MultiSink{sink, pipeline.NewStoreSink(sw)}
 	}
 
-	runner, err := pipeline.NewRunner(pipeline.Config{FrameUS: *frameMS * 1000, Workers: *workers})
+	runner, err := pipeline.NewRunner(pipeline.Config{FrameUS: ps.FrameUS, Workers: *workers})
 	if err != nil {
 		return err
 	}
-	stats, err := runner.Run(context.Background(), streams, sink)
+
+	// Control plane: live status from the runner, live parameters through
+	// per-stream tuners that apply new versions at window boundaries.
+	if *httpAddr != "" {
+		control.Attach(streams, paramStore)
+		addr, shutdown, err := control.Serve(*httpAddr, control.NewServer(paramStore, runner).Handler(),
+			func(serr error) { fmt.Fprintln(os.Stderr, "ebbiot-run: control server:", serr) })
+		if err != nil {
+			return err
+		}
+		defer shutdown()
+		fmt.Fprintf(os.Stderr, "control plane on http://%s (healthz, stats, streams/{id}, params, metrics)\n", addr)
+	}
+
+	stats, err := runner.Run(ctx, streams, sink)
 	if sw != nil {
 		// Seal the store even on a failed run; keep the run's error first.
 		if cerr := sw.Close(); cerr != nil && err == nil {
 			err = cerr
 		}
+	}
+	interrupted := ctx.Err() != nil && errors.Is(err, context.Canceled)
+	if interrupted {
+		fmt.Fprintln(os.Stderr, "ebbiot-run: interrupted — streams stopped at the window boundary, sinks drained and flushed; partial stats follow")
+		err = nil
 	}
 	if err != nil {
 		return err
@@ -222,6 +321,9 @@ func run() error {
 		}
 		fmt.Fprintf(os.Stderr, "stage breakdown (%s path, mean µs/window over %d windows): ebbi %.1f, filter %.1f, rpn %.1f, track %.1f, sink %.1f\n",
 			path, agg.Windows, perUS(agg.EBBI), perUS(agg.Filter), perUS(agg.RPN), perUS(agg.Track), sinkUS)
+	}
+	if v := paramStore.Version(); v > 1 {
+		fmt.Fprintf(os.Stderr, "params: finished on version %d (retuned live %d time(s))\n", v, v-1)
 	}
 	if *storeDir != "" {
 		fmt.Fprintf(os.Stderr, "recorded %d snapshots to %s (query with: ebbiot-query -store %s)\n",

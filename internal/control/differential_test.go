@@ -1,0 +1,230 @@
+package control
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"strings"
+	"testing"
+
+	"ebbiot/internal/core"
+	"ebbiot/internal/events"
+	"ebbiot/internal/pipeline"
+	"ebbiot/internal/scene"
+	"ebbiot/internal/sensor"
+)
+
+// TestPatchMidRunEquivalentToFreshRun is the acceptance test of the control
+// plane: retuning tF and the RPN mid-run through PATCH /params yields
+// bit-identical tracks to a brand-new run launched with the new parameters
+// from the same window boundary. The PATCH is issued from an Observer (which
+// runs synchronously between windows of the stream), so the boundary at
+// which the new version lands is deterministic.
+func TestPatchMidRunEquivalentToFreshRun(t *testing.T) {
+	const (
+		tF1      = 66_000
+		tF2      = 44_000
+		boundary = 12 // windows of tF1 processed before the PATCH lands
+	)
+	sc := scene.SingleObjectScene(events.DAVIS240, 3_000_000)
+	simCfg := sensor.DefaultConfig(7)
+	simCfg.NoiseRatePerPixelHz = 1
+	sim, err := sensor.New(simCfg, sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	evs, err := sim.Events(0, sc.DurationUS)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	initial := Defaults()
+	initial.FrameUS = tF1
+	store, err := NewParamStore(initial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	runner, err := pipeline.NewRunner(pipeline.Config{FrameUS: tF1, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(NewServer(store, runner).Handler())
+	defer srv.Close()
+
+	patchBody := fmt.Sprintf(`{"frame_us": %d, "threshold": 2, "min_valid_pixels": 6}`, tF2)
+
+	// Live run: PATCH after the window with Frame == boundary-1; the tuner
+	// applies version 2 at the next window boundary.
+	src, err := pipeline.NewSliceSource(evs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseCfg := store.Load().Apply(core.DefaultConfig())
+	sys, err := core.NewEBBIOT(baseCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys.Close()
+	var live []pipeline.TrackSnapshot
+	patched := false
+	observe := func(snap pipeline.TrackSnapshot, _ core.System) error {
+		if snap.Frame == boundary-1 && !patched {
+			patched = true
+			req, err := http.NewRequest(http.MethodPatch, srv.URL+"/params", strings.NewReader(patchBody))
+			if err != nil {
+				return err
+			}
+			resp, err := http.DefaultClient.Do(req)
+			if err != nil {
+				return err
+			}
+			defer resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				b, _ := io.ReadAll(resp.Body)
+				return fmt.Errorf("PATCH /params: %d %s", resp.StatusCode, b)
+			}
+			var got ParamSet
+			if err := json.NewDecoder(resp.Body).Decode(&got); err != nil {
+				return err
+			}
+			if got.Version != 2 {
+				return fmt.Errorf("PATCH published v%d, want 2", got.Version)
+			}
+		}
+		return nil
+	}
+	collect := pipeline.SinkFunc(func(snap pipeline.TrackSnapshot) error {
+		live = append(live, snap)
+		return nil
+	})
+	if _, err := runner.Run(context.Background(),
+		[]pipeline.Stream{{Name: "live", Source: src, System: sys, Observer: observe, Tuner: NewTuner(store)}},
+		collect); err != nil {
+		t.Fatal(err)
+	}
+	if !patched {
+		t.Fatalf("run ended after %d snapshots without reaching the patch boundary", len(live))
+	}
+
+	// The retune must be visible in the emitted window bounds: window
+	// `boundary` starts at the old boundary and spans tF2.
+	if len(live) <= boundary {
+		t.Fatalf("only %d snapshots", len(live))
+	}
+	if live[boundary].StartUS != int64(boundary)*tF1 || live[boundary].EndUS != int64(boundary)*tF1+tF2 {
+		t.Fatalf("window %d spans [%d, %d), want [%d, %d)", boundary,
+			live[boundary].StartUS, live[boundary].EndUS, int64(boundary)*tF1, int64(boundary)*tF1+tF2)
+	}
+
+	// Fresh run: the remaining events, rebased to the boundary, through a
+	// brand-new system built from the patched parameters.
+	originUS := int64(boundary) * tF1
+	var suffix []events.Event
+	for _, e := range evs {
+		if e.T >= originUS {
+			se := e
+			se.T -= originUS
+			suffix = append(suffix, se)
+		}
+	}
+	fsrc, err := pipeline.NewSliceSource(suffix)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fcfg := store.Load().Apply(core.DefaultConfig())
+	fsys, err := core.NewEBBIOT(fcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fsys.Close()
+	frunner, err := pipeline.NewRunner(pipeline.Config{FrameUS: tF2, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var fresh []pipeline.TrackSnapshot
+	if _, err := frunner.Run(context.Background(),
+		[]pipeline.Stream{{Name: "fresh", Source: fsrc, System: fsys}},
+		pipeline.SinkFunc(func(snap pipeline.TrackSnapshot) error {
+			fresh = append(fresh, snap)
+			return nil
+		})); err != nil {
+		t.Fatal(err)
+	}
+
+	after := live[boundary:]
+	if len(after) != len(fresh) {
+		t.Fatalf("live run emitted %d windows after the boundary, fresh run %d", len(after), len(fresh))
+	}
+	for i := range fresh {
+		got, want := after[i].Boxes, fresh[i].Boxes
+		if len(got) == 0 && len(want) == 0 {
+			continue
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("window %d after patch: live boxes %v != fresh %v", i, got, want)
+		}
+	}
+}
+
+// TestInvalidPatchMidRunKeepsOldParams drives a run while an invalid PATCH
+// is rejected: the stream must finish on the original parameters.
+func TestInvalidPatchMidRunKeepsOldParams(t *testing.T) {
+	store, err := NewParamStore(Defaults())
+	if err != nil {
+		t.Fatal(err)
+	}
+	runner, err := pipeline.NewRunner(pipeline.Config{FrameUS: 66_000, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(NewServer(store, runner).Handler())
+	defer srv.Close()
+
+	var evs []events.Event
+	for ts := int64(0); ts < 600_000; ts += 500 {
+		evs = append(evs, events.Event{X: 10, Y: 10, T: ts, P: events.On})
+	}
+	src, err := pipeline.NewSliceSource(evs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := core.NewEBBIOT(store.Load().Apply(core.DefaultConfig()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys.Close()
+	rejected := false
+	observe := func(snap pipeline.TrackSnapshot, _ core.System) error {
+		if snap.Frame == 2 && !rejected {
+			rejected = true
+			req, _ := http.NewRequest(http.MethodPatch, srv.URL+"/params", strings.NewReader(`{"s1": 0}`))
+			resp, err := http.DefaultClient.Do(req)
+			if err != nil {
+				return err
+			}
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusBadRequest {
+				return fmt.Errorf("invalid PATCH got %d, want 400", resp.StatusCode)
+			}
+		}
+		return nil
+	}
+	if _, err := runner.Run(context.Background(),
+		[]pipeline.Stream{{Source: src, System: sys, Observer: observe, Tuner: NewTuner(store)}},
+		nil); err != nil {
+		t.Fatal(err)
+	}
+	if !rejected {
+		t.Fatal("run ended before the invalid PATCH was attempted")
+	}
+	if store.Version() != 1 {
+		t.Fatalf("store moved to v%d after a rejected PATCH", store.Version())
+	}
+	if got := sys.Config(); got.RPN.S1 != Defaults().S1 {
+		t.Fatalf("system config changed after a rejected PATCH: %+v", got.RPN)
+	}
+}

@@ -216,6 +216,55 @@ func (f *frontend) process(evs []events.Event) (rpn.Result, error) {
 
 func (f *frontend) trackTime(d time.Duration) { f.timings.Track += d }
 
+// reconfigure rebuilds the front end in place for new parameters: the
+// builder is reconfigured (or swapped when the representation changes), the
+// proposer takes the new RPN config, and frame state resets — afterwards the
+// front end is indistinguishable from a freshly built one. Cumulative stage
+// timings deliberately survive so monitoring reads continuous totals across
+// reconfigurations. On error nothing is mutated.
+func (f *frontend) reconfigure(ecfg ebbi.Config, rcfg rpn.Config, mask *roe.Mask, reference bool) error {
+	if err := ecfg.Validate(); err != nil {
+		return fmt.Errorf("core: %w", err)
+	}
+	if err := rcfg.Validate(); err != nil {
+		return fmt.Errorf("core: %w", err)
+	}
+	switch {
+	case reference && f.builder != nil:
+		if err := f.builder.Reconfigure(ecfg); err != nil {
+			return fmt.Errorf("core: %w", err)
+		}
+	case !reference && f.pbuilder != nil:
+		if err := f.pbuilder.Reconfigure(ecfg); err != nil {
+			return fmt.Errorf("core: %w", err)
+		}
+	case reference:
+		// Fast path -> reference: swap the builder representation.
+		b, err := ebbi.NewBuilder(ecfg)
+		if err != nil {
+			return fmt.Errorf("core: %w", err)
+		}
+		f.pbuilder.Release()
+		f.pbuilder = nil
+		f.builder = b
+	default:
+		// Reference -> fast path.
+		pb, err := ebbi.NewPackedBuilder(ecfg)
+		if err != nil {
+			return fmt.Errorf("core: %w", err)
+		}
+		f.builder.Release()
+		f.builder = nil
+		f.pbuilder = pb
+	}
+	if err := f.proposer.Reconfigure(rcfg); err != nil {
+		return fmt.Errorf("core: %w", err)
+	}
+	f.mask = mask
+	f.lastValid = false
+	return nil
+}
+
 // frame returns the most recent EBBI frame in byte form. On the reference
 // path it aliases the builder's double buffer directly; on the fast path the
 // packed frame is unpacked into scratch bitmaps on demand (visualisation is
@@ -257,6 +306,7 @@ func (f *frontend) close() {
 
 // EBBIOT is the paper's pipeline.
 type EBBIOT struct {
+	cfg     Config
 	front   *frontend
 	tracker *tracker.Tracker
 	lastRPN rpn.Result
@@ -275,11 +325,38 @@ func NewEBBIOT(cfg Config) (*EBBIOT, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &EBBIOT{front: front, tracker: tr}, nil
+	return &EBBIOT{cfg: cfg, front: front, tracker: tr}, nil
 }
 
 // Name implements System.
 func (e *EBBIOT) Name() string { return "EBBIOT" }
+
+// Config returns the pipeline's current configuration.
+func (e *EBBIOT) Config() Config { return e.cfg }
+
+// ApplyParams reconfigures the pipeline in place — the live-reconfiguration
+// hook the control plane calls at a window boundary. The semantics are a
+// clean restart: afterwards the system behaves bit-identically to a fresh
+// NewEBBIOT(cfg) — the EBBI builder and RPN are rebuilt (reusing buffers
+// where the geometry allows) and the tracker state (tracks, IDs, frame
+// count) resets — so a live parameter change is exactly equivalent to
+// relaunching the pipeline with the new parameters at that boundary, the
+// property the differential tests assert. Cumulative stage timings survive
+// for monitoring continuity. On error the system keeps running with its old
+// parameters.
+func (e *EBBIOT) ApplyParams(cfg Config) error {
+	tr, err := tracker.New(cfg.Tracker)
+	if err != nil {
+		return fmt.Errorf("core: %w", err)
+	}
+	if err := e.front.reconfigure(cfg.EBBI, cfg.RPN, cfg.Tracker.ROE, cfg.Reference); err != nil {
+		return err
+	}
+	e.tracker = tr
+	e.lastRPN = rpn.Result{}
+	e.cfg = cfg
+	return nil
+}
 
 // ProcessWindow implements System: latch the window's events into the EBBI,
 // median-filter, propose regions and step the overlap tracker.
@@ -323,6 +400,7 @@ func (e *EBBIOT) StageTimings() StageTimings { return e.front.timings }
 
 // EBBIKF is the EBBI + Kalman-filter comparison pipeline.
 type EBBIKF struct {
+	cfg      KFConfig
 	front    *frontend
 	tracker  *kalman.Tracker
 	mask     *roe.Mask
@@ -365,11 +443,33 @@ func NewEBBIKF(cfg KFConfig) (*EBBIKF, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &EBBIKF{front: front, tracker: tr, mask: cfg.ROE, maxCover: cfg.ROEMaxCover}, nil
+	return &EBBIKF{cfg: cfg, front: front, tracker: tr, mask: cfg.ROE, maxCover: cfg.ROEMaxCover}, nil
 }
 
 // Name implements System.
 func (e *EBBIKF) Name() string { return "EBBI+KF" }
+
+// Config returns the pipeline's current configuration.
+func (e *EBBIKF) Config() KFConfig { return e.cfg }
+
+// ApplyParams reconfigures the pipeline in place with clean-restart
+// semantics, mirroring EBBIOT.ApplyParams: afterwards the system behaves
+// bit-identically to a fresh NewEBBIKF(cfg). On error the system keeps
+// running with its old parameters.
+func (e *EBBIKF) ApplyParams(cfg KFConfig) error {
+	tr, err := kalman.New(cfg.Tracker)
+	if err != nil {
+		return fmt.Errorf("core: %w", err)
+	}
+	if err := e.front.reconfigure(cfg.EBBI, cfg.RPN, cfg.ROE, cfg.Reference); err != nil {
+		return err
+	}
+	e.tracker = tr
+	e.mask = cfg.ROE
+	e.maxCover = cfg.ROEMaxCover
+	e.cfg = cfg
+	return nil
+}
 
 // Close returns the pipeline's EBBI double buffer to its pool; the system
 // must not be used afterwards.

@@ -107,6 +107,32 @@ func (b *Builder) Release() {
 // Config returns the builder's configuration.
 func (b *Builder) Config() Config { return b.cfg }
 
+// Reconfigure rebuilds the builder in place for a new configuration — the
+// live-reconfiguration hook behind core's ApplyParams. The double buffer is
+// reused when the sensor resolution is unchanged (re-pooled otherwise) and
+// all accumulation state resets, so the builder afterwards is
+// indistinguishable from a fresh NewBuilder(cfg). On error the builder is
+// left untouched.
+func (b *Builder) Reconfigure(cfg Config) error {
+	if err := cfg.Validate(); err != nil {
+		return err
+	}
+	if cfg.Res != b.cfg.Res {
+		imgproc.PutBitmap(b.raw)
+		imgproc.PutBitmap(b.filtered)
+		b.raw = imgproc.GetBitmap(cfg.Res.A, cfg.Res.B)
+		b.filtered = imgproc.GetBitmap(cfg.Res.A, cfg.Res.B)
+	} else {
+		b.raw.Clear()
+		b.filtered.Clear()
+	}
+	b.cfg = cfg
+	b.frameIdx = 0
+	b.count = 0
+	b.needsClear = false
+	return nil
+}
+
 // Accumulate latches a batch of events into the current frame. Events
 // outside the sensor array are ignored; polarity is ignored (the EBBI is
 // binary). Events must belong to the current frame window; the caller

@@ -84,5 +84,15 @@ func FuzzPackedKernels(f *testing.F) {
 		if psrc.CountOnes() != src.CountOnes() {
 			t.Fatalf("CountOnes mismatch (w=%d h=%d)", w, h)
 		}
+
+		// Morphology (radius reuses the median patch half-width so the
+		// fuzzer also drives r across word boundaries via p).
+		r := p / 2
+		if !PackedDilate(nil, psrc, r).Unpack(nil).Equal(Dilate(src, r)) {
+			t.Fatalf("packed dilate mismatch (w=%d h=%d r=%d)", w, h, r)
+		}
+		if !PackedErode(nil, psrc, r).Unpack(nil).Equal(Erode(src, r)) {
+			t.Fatalf("packed erode mismatch (w=%d h=%d r=%d)", w, h, r)
+		}
 	})
 }

@@ -1,0 +1,135 @@
+package imgproc
+
+// Word-parallel binary morphology. A square structuring element of radius r
+// is separable: dilation (erosion) by the (2r+1) x (2r+1) square is a
+// horizontal dilation (erosion) by the 1 x (2r+1) segment followed by a
+// vertical one. The horizontal pass reduces to OR-ing (AND-ing) each packed
+// row with itself shifted by 1..r bits in both directions — shifts carry
+// across word boundaries — and the vertical pass to the same over whole
+// rows, so the cost is O(r · words) instead of O(r² · pixels) with
+// per-pixel neighbourhood scans. Pixels outside the image count as unset,
+// matching the byte-path Dilate/Erode border convention; for erosion the
+// zero-fill shifted in at the edges clears border pixels exactly as the
+// byte path does.
+
+// PackedDilate writes the dilation of src by a square structuring element
+// of radius r into dst, which is resized (reusing its backing array when
+// large enough) and returned; pass nil to allocate. Output is bit-identical
+// to Dilate on the unpacked image. dst must not alias src.
+func PackedDilate(dst, src *PackedBitmap, r int) *PackedBitmap {
+	return packedMorph(dst, src, r, true)
+}
+
+// PackedErode writes the erosion of src by a square structuring element of
+// radius r into dst (same reuse contract as PackedDilate). A pixel survives
+// only if its whole neighbourhood is set, with pixels outside the image
+// counting as unset. Output is bit-identical to Erode on the unpacked
+// image. dst must not alias src.
+func PackedErode(dst, src *PackedBitmap, r int) *PackedBitmap {
+	return packedMorph(dst, src, r, false)
+}
+
+func packedMorph(dst, src *PackedBitmap, r int, dilate bool) *PackedBitmap {
+	if dst == nil {
+		dst = NewPackedBitmap(src.W, src.H)
+	} else {
+		dst.Resize(src.W, src.H)
+	}
+	if src.W == 0 || src.H == 0 {
+		return dst
+	}
+	if r <= 0 {
+		copy(dst.Words, src.Words)
+		return dst
+	}
+	// Horizontal pass into pooled scratch.
+	tmp := GetPacked(src.W, src.H)
+	defer PutPacked(tmp)
+	for y := 0; y < src.H; y++ {
+		row := src.Row(y)
+		acc := tmp.Row(y)
+		copy(acc, row)
+		for k := 1; k <= r; k++ {
+			combineShifted(acc, row, k, dilate)
+			combineShifted(acc, row, -k, dilate)
+		}
+	}
+	if dilate {
+		// Left shifts can spill set bits into the row padding; erosion
+		// cannot (ANDing with zero-tailed src keeps the tails zero).
+		tmp.clearTail()
+	}
+	// Vertical pass: combine each row of tmp with its r neighbours above
+	// and below; rows outside the image are all-zero (for erosion that
+	// clears the border rows, as it must).
+	for y := 0; y < src.H; y++ {
+		out := dst.Row(y)
+		copy(out, tmp.Row(y))
+		for k := 1; k <= r; k++ {
+			for _, ny := range [2]int{y - k, y + k} {
+				if ny >= 0 && ny < src.H {
+					combineRows(out, tmp.Row(ny), dilate)
+				} else if !dilate {
+					clear(out)
+				}
+			}
+		}
+	}
+	return dst
+}
+
+// combineShifted ORs (dilate) or ANDs acc with row shifted by k bit
+// positions: positive k samples x-k (a shift toward higher x), negative k
+// samples x+k. Bits shifted in from beyond the row are zero.
+func combineShifted(acc, row []uint64, k int, dilate bool) {
+	n := len(acc)
+	if k > 0 {
+		q, m := k>>6, uint(k&63)
+		for i := n - 1; i >= 0; i-- {
+			var w uint64
+			if j := i - q; j >= 0 {
+				w = row[j] << m
+				// Go defines shifts >= 64 as 0, so m == 0 needs no special
+				// case here: the carry term vanishes.
+				if j > 0 && m != 0 {
+					w |= row[j-1] >> (64 - m)
+				}
+			}
+			if dilate {
+				acc[i] |= w
+			} else {
+				acc[i] &= w
+			}
+		}
+		return
+	}
+	k = -k
+	q, m := k>>6, uint(k&63)
+	for i := 0; i < n; i++ {
+		var w uint64
+		if j := i + q; j < n {
+			w = row[j] >> m
+			if j+1 < n && m != 0 {
+				w |= row[j+1] << (64 - m)
+			}
+		}
+		if dilate {
+			acc[i] |= w
+		} else {
+			acc[i] &= w
+		}
+	}
+}
+
+// combineRows ORs (dilate) or ANDs two packed rows word-wise into out.
+func combineRows(out, row []uint64, dilate bool) {
+	if dilate {
+		for i, w := range row {
+			out[i] |= w
+		}
+		return
+	}
+	for i, w := range row {
+		out[i] &= w
+	}
+}

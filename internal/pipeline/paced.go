@@ -1,0 +1,117 @@
+package pipeline
+
+import (
+	"fmt"
+	"time"
+
+	"ebbiot/internal/events"
+)
+
+// PaceConfig parameterises a PacedSource.
+type PaceConfig struct {
+	// Speed is the playback rate relative to recorded time: 1 replays at
+	// recorded wall-clock speed, 2 twice as fast, 0.5 half speed. Must be
+	// positive.
+	Speed float64
+	// Done, when non-nil, aborts any pending pacing sleep when closed (wire
+	// it to ctx.Done() so a canceled run is not held up by the pacer);
+	// windows after that are released without delay and the runner's own
+	// context check stops the stream.
+	Done <-chan struct{}
+
+	// now/sleep are test seams; nil selects the real clock.
+	now   func() time.Time
+	sleep func(d time.Duration, done <-chan struct{})
+}
+
+// PacedSource wraps an EventSource so windows are released at recorded
+// wall-clock speed (scaled by Speed) instead of as fast as the source can
+// produce them. The first window anchors recorded time to wall time; each
+// subsequent window [start, end) is withheld until the wall clock reaches
+// anchor + (end - firstStart)/Speed — the moment the window's last event
+// would have been available on live hardware.
+//
+// This turns a replay into a live-shaped run: the duty-cycle model sees
+// realistic idle time between frames, and the monitoring endpoint observes
+// rates matching a deployment instead of a millisecond burst. A source that
+// falls behind (processing slower than recorded time) is never delayed
+// further, so pacing adds no backpressure of its own.
+type PacedSource struct {
+	src  EventSource
+	done <-chan struct{}
+	pace pacer
+}
+
+// NewPacedSource wraps src with pacing.
+func NewPacedSource(src EventSource, cfg PaceConfig) (*PacedSource, error) {
+	if src == nil {
+		return nil, fmt.Errorf("pipeline: nil event source")
+	}
+	if cfg.Speed <= 0 {
+		return nil, fmt.Errorf("pipeline: pace speed must be positive, got %v", cfg.Speed)
+	}
+	return &PacedSource{
+		src:  src,
+		done: cfg.Done,
+		pace: pacer{speed: cfg.Speed, now: cfg.now, sleep: cfg.sleep},
+	}, nil
+}
+
+// NextWindow implements EventSource: fetch the window from the wrapped
+// source, then hold it back until its recorded end time has elapsed on the
+// (scaled) wall clock. The first window's start anchors recorded time to
+// wall time.
+func (p *PacedSource) NextWindow(buf []events.Event, start, end int64) ([]events.Event, error) {
+	out, err := p.src.NextWindow(buf, start, end)
+	p.pace.wait(start, p.done)
+	p.pace.wait(end, p.done)
+	return out, err
+}
+
+// pacer maps a recorded-microsecond clock onto the wall clock: the first
+// wait anchors (recorded us <-> now) and returns immediately; every later
+// wait blocks until anchor + (us - base)/speed, never delaying a caller
+// that has already fallen behind. Shared by PacedSource (window clock) and
+// drainStore (snapshot clock) so the two pacing paths cannot drift apart.
+type pacer struct {
+	speed    float64
+	anchored bool
+	anchor   time.Time
+	baseUS   int64
+	// now/sleep are test seams; nil selects the real clock.
+	now   func() time.Time
+	sleep func(d time.Duration, done <-chan struct{})
+}
+
+func (p *pacer) wait(us int64, done <-chan struct{}) {
+	if p.now == nil {
+		p.now = time.Now
+	}
+	if p.sleep == nil {
+		p.sleep = sleepInterruptible
+	}
+	if !p.anchored {
+		p.anchored = true
+		p.anchor = p.now()
+		p.baseUS = us
+		return
+	}
+	due := p.anchor.Add(time.Duration(float64(us-p.baseUS) / p.speed * float64(time.Microsecond)))
+	if d := due.Sub(p.now()); d > 0 {
+		p.sleep(d, done)
+	}
+}
+
+// sleepInterruptible sleeps for d, returning early when done closes.
+func sleepInterruptible(d time.Duration, done <-chan struct{}) {
+	if done == nil {
+		time.Sleep(d)
+		return
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+	case <-done:
+	}
+}

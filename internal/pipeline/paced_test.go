@@ -1,0 +1,189 @@
+package pipeline
+
+import (
+	"context"
+	"math"
+	"os"
+	"testing"
+	"time"
+
+	"ebbiot/internal/store"
+)
+
+// fakeClock drives a PacedSource deterministically: now() returns the
+// accumulated virtual time and sleep() advances it, recording each request.
+type fakeClock struct {
+	t      time.Time
+	sleeps []time.Duration
+}
+
+func (c *fakeClock) now() time.Time { return c.t }
+
+func (c *fakeClock) sleep(d time.Duration, done <-chan struct{}) {
+	c.sleeps = append(c.sleeps, d)
+	c.t = c.t.Add(d)
+}
+
+func TestPacedSourceHoldsWindowsToRecordedClock(t *testing.T) {
+	evs := syntheticStream(0, 500_000)
+	src, err := NewSliceSource(evs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clock := &fakeClock{t: time.Unix(0, 0)}
+	paced, err := NewPacedSource(src, PaceConfig{Speed: 2, now: clock.now, sleep: clock.sleep})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := NewWindower(paced, 66_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	n := 0
+	for {
+		if _, err := w.Next(); err != nil {
+			break
+		}
+		n++
+	}
+	if n == 0 {
+		t.Fatal("no windows")
+	}
+	// At speed 2, each 66 ms window is due 33 ms after the previous one;
+	// with an instant source every wait is the full 33 ms.
+	if len(clock.sleeps) != n {
+		t.Fatalf("%d sleeps for %d windows", len(clock.sleeps), n)
+	}
+	for i, d := range clock.sleeps {
+		if d != 33*time.Millisecond {
+			t.Fatalf("sleep %d was %v, want 33ms", i, d)
+		}
+	}
+
+	// A source that has fallen behind is never delayed further.
+	clock.t = clock.t.Add(10 * time.Second)
+	src2, _ := NewSliceSource(evs)
+	paced2, err := NewPacedSource(src2, PaceConfig{Speed: 1, now: clock.now, sleep: clock.sleep})
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := len(clock.sleeps)
+	if _, err := paced2.NextWindow(nil, 0, 66_000); err != nil {
+		t.Fatal(err)
+	}
+	clock.t = clock.t.Add(time.Hour) // way past every remaining deadline
+	if _, err := paced2.NextWindow(nil, 66_000, 132_000); err != nil {
+		t.Fatal(err)
+	}
+	// Only the first window (anchoring) slept; the late one did not.
+	if got := len(clock.sleeps) - before; got != 1 {
+		t.Fatalf("late source slept %d times, want 1", got)
+	}
+}
+
+func TestPacedSourceValidates(t *testing.T) {
+	src, err := NewSliceSource(syntheticStream(0, 100_000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewPacedSource(src, PaceConfig{Speed: 0}); err == nil {
+		t.Fatal("accepted zero speed")
+	}
+	if _, err := NewPacedSource(nil, PaceConfig{Speed: 1}); err == nil {
+		t.Fatal("accepted nil source")
+	}
+}
+
+// TestPacedSourceCancelUnblocks proves a canceled run is not held hostage
+// by a pending pacing sleep.
+func TestPacedSourceCancelUnblocks(t *testing.T) {
+	src, err := NewSliceSource(syntheticStream(0, 10_000_000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	paced, err := NewPacedSource(src, PaceConfig{Speed: 0.001, Done: ctx.Done()}) // 66 ms window -> 66 s sleep
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewRunner(Config{FrameUS: 66_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		time.Sleep(50 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	_, err = r.Run(ctx, []Stream{{Source: paced, System: &fakeSystem{name: "p"}}}, nil)
+	if err == nil {
+		t.Fatal("expected cancellation error")
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("cancel took %v; pacing sleep not interrupted", elapsed)
+	}
+}
+
+// TestReplayStoreWithStatusAndPacing replays a small recorded run with live
+// status and a very high pacing speed, checking the status registers the
+// sensors and the totals match the unpaced replay.
+func TestReplayStoreWithStatusAndPacing(t *testing.T) {
+	dir, err := os.MkdirTemp("", "ebbiot-paced-replay")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	sw, err := store.Open(dir, store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	streams := make([]Stream, 2)
+	for k := range streams {
+		src, err := NewSliceSource(syntheticStream(k, 500_000))
+		if err != nil {
+			t.Fatal(err)
+		}
+		streams[k] = Stream{Source: src, System: &fakeSystem{name: "s"}}
+	}
+	r, err := NewRunner(Config{FrameUS: 66_000, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	live, err := r.Run(context.Background(), streams, NewStoreSink(sw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sw.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	rd, err := store.OpenReader(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	status := NewRunStatus(1)
+	stats, err := ReplayStoreWith(context.Background(), rd, nil, ReplayOptions{
+		T1:     math.MaxInt64,
+		Speed:  10_000, // recorded 0.5 s -> 50 µs of pacing: exercised, not slow
+		Status: status,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Windows != live.Windows || stats.Events != live.Events {
+		t.Fatalf("paced replay (%d, %d) != live (%d, %d)", stats.Windows, stats.Events, live.Windows, live.Events)
+	}
+	snap := status.Snapshot()
+	if snap.Running {
+		t.Fatal("replay status still running")
+	}
+	if snap.Streams != 2 || snap.Windows != live.Windows {
+		t.Fatalf("replay status %+v", snap)
+	}
+	for _, ss := range snap.PerStream {
+		if ss.State != "done" || ss.Windows == 0 {
+			t.Fatalf("replay stream %d: %+v", ss.Sensor, ss)
+		}
+	}
+}

@@ -24,10 +24,19 @@
 // contract — record once, re-evaluate offline forever. Sinks that buffer
 // implement Flusher and are flushed by the Runner itself, so deferred
 // write errors fail the run instead of vanishing.
+//
+// Runs are also observable and tunable while in flight: the Runner
+// publishes a live RunStatus (per-stream counters, stage timings, sink
+// lag) that any goroutine may read, each Stream may carry a Tuner that the
+// worker consults at window boundaries to retune tF or reconfigure the
+// System live, and PacedSource releases windows at recorded wall-clock
+// speed so replays behave like deployments. internal/control serves all of
+// this over HTTP.
 package pipeline
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"io"
 	"runtime"
@@ -69,6 +78,21 @@ type TrackSnapshot struct {
 // that the next window will overwrite.
 type Observer func(snap TrackSnapshot, sys core.System) error
 
+// Tuner is the control plane's hook into a running stream. The worker calls
+// Tune on its own goroutine at every window boundary, before the next window
+// is pulled; the tuner may reconfigure the System in place (the systems'
+// ApplyParams hooks) and returns the frame duration tF to use for the next
+// window (0 keeps the current one) plus the parameter version in effect (0
+// when unversioned), which the live status reports.
+//
+// A Tuner instance belongs to one stream: it is only ever called from the
+// worker currently driving that stream, so it needs no locking of its own,
+// but implementations that consult shared state (a control.ParamStore) must
+// read it atomically.
+type Tuner interface {
+	Tune(sensor int, sys core.System) (frameUS, version int64, err error)
+}
+
 // Stream pairs an event source with the stateful System consuming it. Each
 // stream is processed by exactly one worker at a time.
 type Stream struct {
@@ -78,6 +102,10 @@ type Stream struct {
 	System core.System
 	// Observer, if non-nil, runs synchronously after every window.
 	Observer Observer
+	// Tuner, if non-nil, is consulted at every window boundary and may
+	// retune tF or reconfigure the System live. Each stream needs its own
+	// instance.
+	Tuner Tuner
 }
 
 // Config parameterises a Runner.
@@ -128,7 +156,8 @@ func (s Stats) WindowsPerSec() float64 {
 // Runner shards sensor streams across workers and fans snapshots into a
 // sink.
 type Runner struct {
-	cfg Config
+	cfg    Config
+	status atomic.Pointer[RunStatus]
 }
 
 // NewRunner validates the configuration and returns a Runner.
@@ -186,14 +215,24 @@ func (r *Runner) Run(ctx context.Context, streams []Stream, sink Sink) (Stats, e
 		})
 	}
 
-	var windows, evs, boxes atomic.Int64
-	results := make(chan TrackSnapshot, depth)
-	work := make(chan int)
-	start := time.Now()
+	// Live status: registered before any worker starts so the control plane
+	// sees every stream (as pending) from the first moment of the run.
+	status := NewRunStatus(workers)
+	for i := range streams {
+		name := streams[i].Name
+		if name == "" {
+			name = fmt.Sprintf("sensor%d", i)
+		}
+		ss := status.Register(i, name)
+		ss.setTuning(r.cfg.FrameUS, 0)
+	}
+	r.status.Store(status)
 
-	// Single sink consumer: non-thread-safe sinks stay simple. sinkTime is
-	// written only here and read after sinkWG.Wait below.
-	var sinkTime time.Duration
+	results := make(chan TrackSnapshot, depth)
+	status.setLag(func() int { return len(results) })
+	work := make(chan int)
+
+	// Single sink consumer: non-thread-safe sinks stay simple.
 	var sinkWG sync.WaitGroup
 	sinkWG.Add(1)
 	go func() {
@@ -204,7 +243,7 @@ func (r *Runner) Run(ctx context.Context, streams []Stream, sink Sink) (Stats, e
 			}
 			t0 := time.Now()
 			err := sink.Consume(snap)
-			sinkTime += time.Since(t0)
+			status.addSinkTime(time.Since(t0))
 			if err != nil {
 				fail(fmt.Errorf("pipeline: sink: %w", err))
 				// Keep draining so workers never block forever.
@@ -218,7 +257,18 @@ func (r *Runner) Run(ctx context.Context, streams []Stream, sink Sink) (Stats, e
 		go func() {
 			defer workerWG.Done()
 			for idx := range work {
-				if err := r.runStream(ctx, idx, &streams[idx], results, &windows, &evs, &boxes); err != nil {
+				ss := status.Stream(idx)
+				ss.setState(StreamRunning)
+				err := r.runStream(ctx, idx, &streams[idx], results, ss)
+				switch {
+				case err == nil:
+					ss.setState(StreamDone)
+				case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+					ss.fail(StreamCanceled, err)
+					fail(err)
+					return
+				default:
+					ss.fail(StreamFailed, err)
 					fail(err)
 					return
 				}
@@ -249,23 +299,19 @@ dispatch:
 	if firstErr == nil && ctx.Err() != nil {
 		firstErr = ctx.Err()
 	}
-	return Stats{
-		Streams:  len(streams),
-		Workers:  workers,
-		Windows:  windows.Load(),
-		Events:   evs.Load(),
-		Boxes:    boxes.Load(),
-		Elapsed:  time.Since(start),
-		SinkTime: sinkTime,
-	}, firstErr
+	status.finish(firstErr)
+	return status.Stats(), firstErr
 }
 
-// runStream drives one stream's window loop to exhaustion.
-func (r *Runner) runStream(ctx context.Context, idx int, st *Stream, results chan<- TrackSnapshot, windows, evs, boxes *atomic.Int64) error {
-	name := st.Name
-	if name == "" {
-		name = fmt.Sprintf("sensor%d", idx)
-	}
+// Status returns the live view of the current (or most recent) run, nil
+// before the first Run. The returned RunStatus stays valid and readable
+// after the run ends; a Runner drives one run at a time.
+func (r *Runner) Status() *RunStatus { return r.status.Load() }
+
+// runStream drives one stream's window loop to exhaustion, publishing
+// progress into ss between windows.
+func (r *Runner) runStream(ctx context.Context, idx int, st *Stream, results chan<- TrackSnapshot, ss *StreamStatus) error {
+	name := ss.Name()
 	w, err := NewWindower(st.Source, r.cfg.FrameUS)
 	if err != nil {
 		return fmt.Errorf("pipeline: %s: %w", name, err)
@@ -274,6 +320,20 @@ func (r *Runner) runStream(ctx context.Context, idx int, st *Stream, results cha
 	for {
 		if err := ctx.Err(); err != nil {
 			return err
+		}
+		// Window boundary: let the control plane retune tF or reconfigure
+		// the System before the next window is pulled.
+		if st.Tuner != nil {
+			frameUS, version, err := st.Tuner.Tune(idx, st.System)
+			if err != nil {
+				return fmt.Errorf("pipeline: %s: tuner: %w", name, err)
+			}
+			if frameUS > 0 && frameUS != w.FrameUS() {
+				if err := w.SetFrameUS(frameUS); err != nil {
+					return fmt.Errorf("pipeline: %s: tuner: %w", name, err)
+				}
+			}
+			ss.setTuning(frameUS, version)
 		}
 		frame := w.Frame()
 		win, err := w.Next()
@@ -301,9 +361,10 @@ func (r *Runner) runStream(ctx context.Context, idx int, st *Stream, results cha
 			// systems that violate it.
 			Boxes: append([]geometry.Box(nil), reported...),
 		}
-		windows.Add(1)
-		evs.Add(int64(snap.Events))
-		boxes.Add(int64(len(snap.Boxes)))
+		ss.record(snap)
+		if timer, ok := st.System.(core.StageTimer); ok {
+			ss.setStages(timer.StageTimings())
+		}
 		if st.Observer != nil {
 			if err := st.Observer(snap, st.System); err != nil {
 				return fmt.Errorf("pipeline: %s: observer: %w", name, err)

@@ -19,17 +19,22 @@ import (
 )
 
 // fakeSystem is a cheap deterministic core.System: each window reports one
-// box encoding the window's event count and the running window index.
+// box encoding the window's event count and the running window index. With
+// failAfter > 0 it errors once that many windows have been processed.
 type fakeSystem struct {
-	name    string
-	windows int
-	err     error
+	name      string
+	windows   int
+	err       error
+	failAfter int
 }
 
 func (f *fakeSystem) Name() string { return f.name }
 
 func (f *fakeSystem) ProcessWindow(evs []events.Event) ([]geometry.Box, error) {
-	if f.err != nil {
+	if f.err != nil && f.failAfter <= 0 {
+		return nil, f.err
+	}
+	if f.err != nil && f.windows >= f.failAfter {
 		return nil, f.err
 	}
 	f.windows++
@@ -116,7 +121,7 @@ func TestWindowerEdgeEventGoesToNextWindow(t *testing.T) {
 func TestWindowerEmitsEmptyGapWindows(t *testing.T) {
 	// Events in windows 0 and 3: windows 1 and 2 are emitted empty (the
 	// frame clock never skips), and nothing is emitted past the last event.
-	src, err := NewSliceSource([]events.Event{ev(0, 0, 5), ev(1, 1, 3*66_000 + 5)})
+	src, err := NewSliceSource([]events.Event{ev(0, 0, 5), ev(1, 1, 3*66_000+5)})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,283 @@
+package pipeline
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+
+	"ebbiot/internal/core"
+	"ebbiot/internal/events"
+)
+
+// TestRunnerStatsAccountOneStreamFailing pins down the counter accounting
+// when a stream dies mid-run: the failing stream's counters stop at the
+// failure point, completed streams keep their full counts, never-started
+// streams are swept to canceled at zero — and the aggregate Stats equal
+// the sum of the per-stream counters.
+func TestRunnerStatsAccountOneStreamFailing(t *testing.T) {
+	boom := errors.New("sensor unplugged")
+	const durationUS = 2_000_000 // 31 windows of 66 ms (final partial included)
+	mkSrc := func(k int) *SliceSource {
+		src, err := NewSliceSource(syntheticStream(k, durationUS))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return src
+	}
+	streams := []Stream{
+		{Name: "good", Source: mkSrc(0), System: &fakeSystem{name: "good"}},
+		{Name: "bad", Source: mkSrc(1), System: &fakeSystem{name: "bad", err: boom, failAfter: 3}},
+		{Name: "never", Source: mkSrc(2), System: &fakeSystem{name: "never"}},
+	}
+	r, err := NewRunner(Config{FrameUS: 66_000, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sunk int64
+	stats, err := r.Run(context.Background(), streams, SinkFunc(func(snap TrackSnapshot) error {
+		sunk++
+		return nil
+	}))
+	if !errors.Is(err, boom) {
+		t.Fatalf("Run error = %v, want %v", err, boom)
+	}
+
+	// With one worker the dispatch order is deterministic: stream 0 runs to
+	// exhaustion (31 windows), stream 1 fails after 3, stream 2 never runs.
+	const wantGood, wantBad = 31, 3
+	if stats.Streams != 3 {
+		t.Fatalf("stats.Streams = %d, want 3", stats.Streams)
+	}
+	if stats.Windows != wantGood+wantBad {
+		t.Fatalf("stats.Windows = %d, want %d", stats.Windows, wantGood+wantBad)
+	}
+	if stats.Boxes != wantGood+wantBad { // every synthetic window has events, so one box each
+		t.Fatalf("stats.Boxes = %d, want %d", stats.Boxes, wantGood+wantBad)
+	}
+
+	status := r.Status()
+	if status == nil {
+		t.Fatal("Status() nil after Run")
+	}
+	snap := status.Snapshot()
+	if snap.Running {
+		t.Fatal("status still running after Run returned")
+	}
+	if snap.Error == "" || !strings.Contains(snap.Error, "sensor unplugged") {
+		t.Fatalf("status error %q", snap.Error)
+	}
+	// Aggregates must equal the per-stream sums.
+	var windows, evs, boxes int64
+	for _, ss := range snap.PerStream {
+		windows += ss.Windows
+		evs += ss.Events
+		boxes += ss.Boxes
+	}
+	if windows != stats.Windows || evs != stats.Events || boxes != stats.Boxes {
+		t.Fatalf("per-stream sums (%d, %d, %d) != stats (%d, %d, %d)",
+			windows, evs, boxes, stats.Windows, stats.Events, stats.Boxes)
+	}
+
+	checks := []struct {
+		sensor  int
+		state   string
+		windows int64
+		hasErr  bool
+	}{
+		{0, "done", wantGood, false},
+		{1, "failed", wantBad, true},
+		{2, "canceled", 0, false},
+	}
+	for _, c := range checks {
+		ss := status.Stream(c.sensor).Snapshot(status.Elapsed())
+		if ss.State != c.state {
+			t.Errorf("stream %d state %q, want %q", c.sensor, ss.State, c.state)
+		}
+		if ss.Windows != c.windows {
+			t.Errorf("stream %d windows %d, want %d", c.sensor, ss.Windows, c.windows)
+		}
+		if (ss.Error != "") != c.hasErr {
+			t.Errorf("stream %d error %q, want hasErr=%v", c.sensor, ss.Error, c.hasErr)
+		}
+		// Events accounting: windows processed x 66 events/window (one per
+		// ms), except the final partial window of the completed stream.
+		if c.sensor == 1 && ss.Events != 3*66 {
+			t.Errorf("failed stream events %d, want %d", ss.Events, 3*66)
+		}
+	}
+
+	// The sink saw exactly the recorded windows (it may have been cut short
+	// by cancellation, never more than the workers produced).
+	if sunk > stats.Windows {
+		t.Fatalf("sink consumed %d snapshots, more than %d produced", sunk, stats.Windows)
+	}
+}
+
+// TestRunnerLiveStatusMatchesStats checks the happy path: after a clean
+// run the live status totals collapse to exactly the returned Stats, every
+// stream is done, and per-stream frame clocks are plausible.
+func TestRunnerLiveStatusMatchesStats(t *testing.T) {
+	const sensors = 4
+	streams := make([]Stream, sensors)
+	for k := 0; k < sensors; k++ {
+		src, err := NewSliceSource(syntheticStream(k, 1_000_000))
+		if err != nil {
+			t.Fatal(err)
+		}
+		streams[k] = Stream{Source: src, System: &fakeSystem{name: fmt.Sprintf("f%d", k)}}
+	}
+	r, err := NewRunner(Config{FrameUS: 66_000, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats, err := r.Run(context.Background(), streams, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := r.Status().Snapshot()
+	if snap.Windows != stats.Windows || snap.Events != stats.Events || snap.Boxes != stats.Boxes {
+		t.Fatalf("status (%d, %d, %d) != stats (%d, %d, %d)",
+			snap.Windows, snap.Events, snap.Boxes, stats.Windows, stats.Events, stats.Boxes)
+	}
+	if got := r.Status().Stats(); got.Windows != stats.Windows || got.Streams != stats.Streams {
+		t.Fatalf("Status().Stats() = %+v, want %+v", got, stats)
+	}
+	for _, ss := range snap.PerStream {
+		if ss.State != "done" {
+			t.Errorf("stream %d state %q", ss.Sensor, ss.State)
+		}
+		if ss.Name != fmt.Sprintf("sensor%d", ss.Sensor) {
+			t.Errorf("stream %d default name %q", ss.Sensor, ss.Name)
+		}
+		if ss.LastEndUS == 0 || ss.FrameUS != 66_000 {
+			t.Errorf("stream %d clock (end %d, tF %d)", ss.Sensor, ss.LastEndUS, ss.FrameUS)
+		}
+	}
+}
+
+// tfTuner halves tF once at a fixed window boundary, recording what it saw.
+type tfTuner struct {
+	at      int64
+	before  int64
+	after   int64
+	windows int64
+}
+
+func (tt *tfTuner) Tune(sensor int, sys core.System) (int64, int64, error) {
+	tt.windows++
+	if tt.windows > tt.at {
+		return tt.after, 2, nil
+	}
+	return tt.before, 1, nil
+}
+
+// TestRunnerTunerRetunesFrameDuration proves a tF change lands exactly at a
+// window boundary: windows stay contiguous and the new duration applies
+// from the next window on.
+func TestRunnerTunerRetunesFrameDuration(t *testing.T) {
+	src, err := NewSliceSource(syntheticStream(0, 1_000_000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewRunner(Config{FrameUS: 66_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snaps []TrackSnapshot
+	tuner := &tfTuner{at: 5, before: 66_000, after: 33_000}
+	_, err = r.Run(context.Background(),
+		[]Stream{{Source: src, System: &fakeSystem{name: "t"}, Tuner: tuner}},
+		SinkFunc(func(snap TrackSnapshot) error { snaps = append(snaps, snap); return nil }))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, snap := range snaps {
+		wantDur := int64(66_000)
+		if i >= 5 {
+			wantDur = 33_000
+		}
+		if snap.EndUS-snap.StartUS != wantDur {
+			t.Fatalf("window %d duration %d, want %d", i, snap.EndUS-snap.StartUS, wantDur)
+		}
+		if i > 0 && snap.StartUS != snaps[i-1].EndUS {
+			t.Fatalf("window %d starts at %d, previous ended at %d", i, snap.StartUS, snaps[i-1].EndUS)
+		}
+	}
+	if ss := r.Status().Stream(0).Snapshot(0); ss.FrameUS != 33_000 || ss.ParamVersion != 2 {
+		t.Fatalf("status tuning (%d us, v%d), want (33000, v2)", ss.FrameUS, ss.ParamVersion)
+	}
+}
+
+// failingTuner errors on its second call.
+type failingTuner struct{ calls int }
+
+func (ft *failingTuner) Tune(sensor int, sys core.System) (int64, int64, error) {
+	ft.calls++
+	if ft.calls > 1 {
+		return 0, 0, errors.New("tuner exploded")
+	}
+	return 0, 0, nil
+}
+
+func TestRunnerTunerErrorFailsStream(t *testing.T) {
+	src, err := NewSliceSource(syntheticStream(0, 500_000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewRunner(Config{FrameUS: 66_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = r.Run(context.Background(),
+		[]Stream{{Source: src, System: &fakeSystem{name: "t"}, Tuner: &failingTuner{}}}, nil)
+	if err == nil || !strings.Contains(err.Error(), "tuner exploded") {
+		t.Fatalf("Run error = %v, want tuner failure", err)
+	}
+	if st := r.Status().Stream(0).State(); st != StreamFailed {
+		t.Fatalf("stream state %v, want failed", st)
+	}
+}
+
+// TestWindowerSetFrameUS exercises the retune path directly, including the
+// validation of events against the moving window bounds.
+func TestWindowerSetFrameUS(t *testing.T) {
+	var evs []events.Event
+	for ts := int64(0); ts < 300_000; ts += 10_000 {
+		evs = append(evs, ev(1, 1, ts))
+	}
+	src, err := NewSliceSource(evs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := NewWindower(src, 100_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+
+	win, err := w.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if win.Start != 0 || win.End != 100_000 || len(win.Events) != 10 {
+		t.Fatalf("window 0: [%d, %d) with %d events", win.Start, win.End, len(win.Events))
+	}
+	if err := w.SetFrameUS(50_000); err != nil {
+		t.Fatal(err)
+	}
+	win, err = w.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if win.Start != 100_000 || win.End != 150_000 || len(win.Events) != 5 {
+		t.Fatalf("window 1 after retune: [%d, %d) with %d events", win.Start, win.End, len(win.Events))
+	}
+	if err := w.SetFrameUS(0); err == nil {
+		t.Fatal("SetFrameUS accepted a zero duration")
+	}
+	if got := w.FrameUS(); got != 50_000 {
+		t.Fatalf("failed SetFrameUS changed the duration to %d", got)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"math"
 	"time"
 
 	"ebbiot/internal/store"
@@ -75,11 +76,42 @@ func snapshotFromStore(s store.Snapshot) TrackSnapshot {
 // ReplayStore flushes the sink before returning and reports the first
 // error from the store, the sink, the flush or ctx.
 func ReplayStore(ctx context.Context, r *store.Reader, sensors []int, t0, t1 int64, sink Sink) (Stats, error) {
+	// Bounds are passed literally (t1 = 0 replays nothing, as it always
+	// has); the T1 <= 0 convenience below belongs to ReplayOptions only.
 	it, err := r.Replay(sensors, t0, t1)
 	if err != nil {
 		return Stats{}, fmt.Errorf("pipeline: replay: %w", err)
 	}
-	return drainStore(ctx, it, sink)
+	return drainStore(ctx, it, sink, ReplayOptions{})
+}
+
+// ReplayOptions parameterises ReplayStoreWith.
+type ReplayOptions struct {
+	// Sensors selects the sensors to merge; nil or empty replays all.
+	Sensors []int
+	// T0, T1 bound the window-overlap query; T1 <= 0 means no upper bound.
+	T0, T1 int64
+	// Speed, when positive, paces the replay at recorded wall-clock speed
+	// times Speed: each snapshot is withheld until its recorded EndUS has
+	// elapsed relative to the first snapshot's. 0 replays at full speed.
+	Speed float64
+	// Status, when non-nil, receives live per-sensor progress — the same
+	// observation surface a live Runner publishes, so the control plane's
+	// HTTP server can monitor a replay exactly like a live run.
+	Status *RunStatus
+}
+
+// ReplayStoreWith is ReplayStore with pacing and live monitoring.
+func ReplayStoreWith(ctx context.Context, r *store.Reader, sink Sink, opts ReplayOptions) (Stats, error) {
+	t1 := opts.T1
+	if t1 <= 0 {
+		t1 = math.MaxInt64
+	}
+	it, err := r.Replay(opts.Sensors, opts.T0, t1)
+	if err != nil {
+		return Stats{}, fmt.Errorf("pipeline: replay: %w", err)
+	}
+	return drainStore(ctx, it, sink, opts)
 }
 
 // ScanStore feeds one sensor's stored snapshots through a Sink in append
@@ -87,17 +119,22 @@ func ReplayStore(ctx context.Context, r *store.Reader, sensors []int, t0, t1 int
 // does not require the global timestamp order of a single-run store, so
 // it also works on directories holding several appended runs.
 func ScanStore(ctx context.Context, r *store.Reader, sensor int, t0, t1 int64, sink Sink) (Stats, error) {
-	return drainStore(ctx, r.Scan(sensor, t0, t1), sink)
+	return drainStore(ctx, r.Scan(sensor, t0, t1), sink, ReplayOptions{})
 }
 
 // drainStore pumps a store iterator into a sink, mirroring Runner.Run's
 // consumer-side contract: single goroutine, sink flushed at the end,
-// first error wins.
-func drainStore(ctx context.Context, it store.Iterator, sink Sink) (Stats, error) {
+// first error wins. With opts.Speed > 0 delivery is paced on the recorded
+// EndUS clock; with opts.Status non-nil per-sensor progress is published
+// live.
+func drainStore(ctx context.Context, it store.Iterator, sink Sink, opts ReplayOptions) (Stats, error) {
 	defer it.Close()
 	start := time.Now()
-	streams := make(map[int]struct{})
-	var st Stats
+	status := opts.Status
+	if status == nil {
+		status = NewRunStatus(1)
+	}
+	pace := pacer{speed: opts.Speed}
 	var firstErr error
 loop:
 	for {
@@ -113,12 +150,21 @@ loop:
 			firstErr = fmt.Errorf("pipeline: replay: %w", err)
 			break
 		}
-		streams[snap.Sensor] = struct{}{}
-		st.Windows++
-		st.Events += int64(snap.Events)
-		st.Boxes += int64(len(snap.Boxes))
+		if opts.Speed > 0 {
+			pace.wait(snap.EndUS, ctx.Done())
+		}
+		ps := snapshotFromStore(snap)
+		ss := status.Register(ps.Sensor, ps.Name)
+		ss.setState(StreamRunning)
+		ss.record(ps)
+		// The recorded window span is the stream's tF, so monitored replays
+		// report a real frame_us like live runs do.
+		ss.setTuning(ps.EndUS-ps.StartUS, 0)
 		if sink != nil {
-			if err := sink.Consume(snapshotFromStore(snap)); err != nil {
+			t0 := time.Now()
+			err := sink.Consume(ps)
+			status.addSinkTime(time.Since(t0))
+			if err != nil {
 				firstErr = fmt.Errorf("pipeline: sink: %w", err)
 				break loop
 			}
@@ -127,7 +173,17 @@ loop:
 	if err := flushSink(sink); err != nil && firstErr == nil {
 		firstErr = fmt.Errorf("pipeline: sink flush: %w", err)
 	}
-	st.Streams = len(streams)
+	status.finish(firstErr)
+	snap := status.Snapshot()
+	for _, ss := range snap.PerStream {
+		st := status.Stream(ss.Sensor)
+		if firstErr == nil {
+			st.setState(StreamDone)
+		} else {
+			st.setState(StreamCanceled)
+		}
+	}
+	st := status.Stats()
 	st.Workers = 1
 	st.Elapsed = time.Since(start)
 	return st, firstErr

@@ -33,12 +33,21 @@ func putBuf(buf []events.Event) {
 // non-decreasing in time and inside their window, so a misbehaving source
 // (or an unsorted recording) is rejected instead of silently corrupting
 // frames.
+//
+// The frame duration may be retuned between windows (SetFrameUS): windows
+// stay contiguous — the next window starts where the previous one ended and
+// runs for the new duration — which is how the control plane applies a live
+// tF change at a window boundary.
 type Windower struct {
 	src     EventSource
 	frameUS int64
 	frame   int
-	lastT   int64
-	buf     []events.Event
+	// nextStart is the start of the next window; windows are contiguous
+	// even across SetFrameUS retunes, so it advances by the frame duration
+	// in effect when each window was emitted.
+	nextStart int64
+	lastT     int64
+	buf       []events.Event
 	// eofPending is set when the source returned io.EOF alongside a final
 	// batch; the batch's window is emitted first, then io.EOF.
 	eofPending bool
@@ -72,7 +81,7 @@ func (w *Windower) Next() (events.Window, error) {
 		w.done = true
 		return events.Window{}, io.EOF
 	}
-	start := int64(w.frame) * w.frameUS
+	start := w.nextStart
 	end := start + w.frameUS
 	w.buf = w.buf[:0]
 	buf, err := w.src.NextWindow(w.buf, start, end)
@@ -93,11 +102,25 @@ func (w *Windower) Next() (events.Window, error) {
 		w.eofPending = true
 	}
 	w.frame++
+	w.nextStart = end
 	return events.Window{Start: start, End: end, Events: buf}, nil
 }
 
 // Frame returns the index of the next window to be emitted.
 func (w *Windower) Frame() int { return w.frame }
+
+// FrameUS returns the current frame duration.
+func (w *Windower) FrameUS() int64 { return w.frameUS }
+
+// SetFrameUS retunes the frame duration, taking effect at the next window:
+// it starts where the previous window ended and spans the new duration.
+func (w *Windower) SetFrameUS(us int64) error {
+	if us <= 0 {
+		return fmt.Errorf("pipeline: frame duration must be positive, got %d", us)
+	}
+	w.frameUS = us
+	return nil
+}
 
 // Close recycles the window buffer. The Windower (and any Window it
 // returned) must not be used afterwards.

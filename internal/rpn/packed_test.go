@@ -70,3 +70,79 @@ func TestProposePackedParity(t *testing.T) {
 		}
 	}
 }
+
+// TestCCAProposePackedParity holds the CCA ablation baseline's packed path
+// bit-identical to the byte path across dilation radii and minimum sizes.
+func TestCCAProposePackedParity(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	proposers := []CCAProposer{
+		{},
+		{DilateRadius: 1},
+		{DilateRadius: 2, MinPixels: 4},
+		{DilateRadius: 3, MinPixels: 10},
+	}
+	sizes := []struct{ w, h int }{{240, 180}, {65, 33}, {64, 64}, {31, 7}}
+	for _, sz := range sizes {
+		for trial := 0; trial < 6; trial++ {
+			img := imgproc.NewBitmap(sz.w, sz.h)
+			for i := 0; i < sz.w*sz.h/20; i++ {
+				img.Set(rng.Intn(sz.w), rng.Intn(sz.h))
+			}
+			pimg := imgproc.PackBitmap(nil, img)
+			for pi, cp := range proposers {
+				want := cp.Propose(img)
+				got := cp.ProposePacked(pimg)
+				if !reflect.DeepEqual(got, want) {
+					t.Fatalf("%dx%d proposer %d trial %d: packed CCA proposals %v != %v",
+						sz.w, sz.h, pi, trial, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestProposerReconfigure verifies the live-reconfiguration hook: after
+// Reconfigure the proposer is indistinguishable from a freshly built one,
+// and an invalid config is rejected without touching the current one.
+func TestProposerReconfigure(t *testing.T) {
+	img := imgproc.NewBitmap(64, 48)
+	for y := 10; y < 30; y++ {
+		for x := 12; x < 40; x++ {
+			img.Set(x, y)
+		}
+	}
+	p, err := New(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Propose(img); err != nil {
+		t.Fatal(err)
+	}
+
+	next := Config{S1: 4, S2: 2, Threshold: 2, MergeGap: 0, MinValidPixels: 6, MinW: 2, MinH: 2, Tighten: true}
+	if err := p.Reconfigure(next); err != nil {
+		t.Fatal(err)
+	}
+	got, err := p.Propose(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh, err := New(next)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := fresh.Propose(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got.Proposals, want.Proposals) {
+		t.Fatalf("reconfigured proposals %v != fresh %v", got.Proposals, want.Proposals)
+	}
+
+	if err := p.Reconfigure(Config{S1: 0, S2: 3}); err == nil {
+		t.Fatal("Reconfigure accepted an invalid config")
+	}
+	if p.Config() != next {
+		t.Fatalf("failed Reconfigure mutated the config: %+v", p.Config())
+	}
+}
