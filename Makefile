@@ -1,6 +1,14 @@
 GO ?= go
+# Benchtime for the machine-readable bench run; raise for stabler numbers.
+BENCHTIME ?= 100ms
 
-.PHONY: build test race bench bench-store bench-imgproc vet check smoke-control
+# bench-json pipes go test into the formatter; without pipefail a failing
+# benchmark would exit with the formatter's (successful) status and CI
+# would upload a truncated artifact while staying green.
+SHELL := /bin/bash
+.SHELLFLAGS := -o pipefail -ec
+
+.PHONY: build test race bench bench-store bench-imgproc bench-json vet check smoke-control
 
 build:
 	$(GO) build ./...
@@ -24,6 +32,15 @@ bench-store:
 # (before/after numbers recorded in docs/EXPERIMENTS.md).
 bench-imgproc:
 	$(GO) test -run xxx -bench . -benchmem ./internal/imgproc/ ./internal/ebbi/
+
+# Machine-readable benchmark results for cross-PR perf tracking: the hot
+# packages' benchmarks (frame kernels, EBBI window chain, snapshot store)
+# parsed into BENCH.json (name, ns/op, B/op, allocs/op, custom metrics).
+# CI runs this and uploads the artifact.
+bench-json:
+	$(GO) test -run xxx -bench . -benchmem -benchtime $(BENCHTIME) \
+		./internal/imgproc/ ./internal/ebbi/ ./internal/store/ \
+		| $(GO) run ./cmd/ebbiot-benchfmt -o BENCH.json -tee
 
 vet:
 	$(GO) vet ./...

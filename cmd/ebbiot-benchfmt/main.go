@@ -1,0 +1,139 @@
+// Command ebbiot-benchfmt converts `go test -bench` text output into
+// machine-readable JSON, so the perf trajectory of the frame kernels and
+// the snapshot store can be tracked across PRs (the `make bench-json`
+// target writes BENCH.json and CI uploads it as an artifact).
+//
+// It reads benchmark output on stdin and writes a JSON array of results:
+// one object per benchmark line with the package (from the preceding
+// "pkg:" header), the benchmark name (GOMAXPROCS suffix stripped),
+// iterations, ns/op, and — when -benchmem is in effect — B/op and
+// allocs/op. Custom metrics (MB/s, anything reported via b.ReportMetric)
+// land in the metrics map. Non-benchmark lines pass through untouched to
+// stderr with -tee, so the human-readable output is not lost in pipelines.
+//
+// Usage:
+//
+//	go test -run xxx -bench . -benchmem ./... | ebbiot-benchfmt [-o BENCH.json] [-tee]
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Result is one benchmark measurement.
+type Result struct {
+	Pkg        string             `json:"pkg,omitempty"`
+	Name       string             `json:"name"`
+	Iterations int64              `json:"iterations"`
+	NsPerOp    float64            `json:"ns_per_op"`
+	BytesPerOp *float64           `json:"bytes_per_op,omitempty"`
+	AllocsOp   *float64           `json:"allocs_per_op,omitempty"`
+	Metrics    map[string]float64 `json:"metrics,omitempty"`
+}
+
+func main() {
+	out := flag.String("o", "", "output file (default stdout)")
+	tee := flag.Bool("tee", false, "echo the raw input to stderr")
+	flag.Parse()
+	results, err := parse(os.Stdin, *tee)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ebbiot-benchfmt:", err)
+		os.Exit(1)
+	}
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ebbiot-benchfmt:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = f
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(results); err != nil {
+		fmt.Fprintln(os.Stderr, "ebbiot-benchfmt:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "ebbiot-benchfmt: %d benchmark(s)\n", len(results))
+}
+
+// parse consumes go test -bench output. Benchmark lines look like
+//
+//	BenchmarkName-8   123   456.7 ns/op   12 B/op   3 allocs/op   1.0 MB/s
+//
+// preceded by "pkg: <import path>" headers in multi-package runs.
+func parse(f io.Reader, tee bool) ([]Result, error) {
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	results := []Result{}
+	pkg := ""
+	for sc.Scan() {
+		line := sc.Text()
+		if tee {
+			fmt.Fprintln(os.Stderr, line)
+		}
+		if rest, ok := strings.CutPrefix(line, "pkg: "); ok {
+			pkg = strings.TrimSpace(rest)
+			continue
+		}
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		fields := strings.Fields(line)
+		// Name, iterations, then value/unit pairs.
+		if len(fields) < 4 || len(fields)%2 != 0 {
+			continue
+		}
+		iters, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			continue
+		}
+		r := Result{Pkg: pkg, Name: trimProcs(fields[0]), Iterations: iters}
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			switch unit := fields[i+1]; unit {
+			case "ns/op":
+				r.NsPerOp = v
+			case "B/op":
+				b := v
+				r.BytesPerOp = &b
+			case "allocs/op":
+				a := v
+				r.AllocsOp = &a
+			default:
+				if r.Metrics == nil {
+					r.Metrics = make(map[string]float64)
+				}
+				r.Metrics[unit] = v
+			}
+		}
+		results = append(results, r)
+	}
+	return results, sc.Err()
+}
+
+// trimProcs strips the -GOMAXPROCS suffix go test appends to benchmark
+// names ("BenchmarkFoo-8" -> "BenchmarkFoo"), keeping names stable across
+// machines.
+func trimProcs(name string) string {
+	i := strings.LastIndexByte(name, '-')
+	if i < 0 {
+		return name
+	}
+	if _, err := strconv.Atoi(name[i+1:]); err != nil {
+		return name
+	}
+	return name[:i]
+}

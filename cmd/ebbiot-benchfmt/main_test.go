@@ -1,0 +1,60 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: ebbiot/internal/imgproc
+cpu: Intel(R) Xeon(R) CPU @ 2.10GHz
+BenchmarkMedianPacked/p=3-8         	   22690	     50524 ns/op	       0 B/op	       0 allocs/op
+BenchmarkCCAPacked-8                	   14431	     82936 ns/op	  107624 B/op	      25 allocs/op
+PASS
+ok  	ebbiot/internal/imgproc	4.862s
+pkg: ebbiot/internal/store
+BenchmarkAppend-8   	 2404440	       499.0 ns/op	 178.34 MB/s	      88 B/op	       1 allocs/op
+BenchmarkReplay     	      68	  16426477 ns/op	 541.81 MB/s	         1.000 segment-reads/segment
+PASS
+`
+
+func TestParse(t *testing.T) {
+	got, err := parse(strings.NewReader(sample), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 4 {
+		t.Fatalf("parsed %d results, want 4", len(got))
+	}
+	r := got[0]
+	if r.Pkg != "ebbiot/internal/imgproc" || r.Name != "BenchmarkMedianPacked/p=3" ||
+		r.Iterations != 22690 || r.NsPerOp != 50524 || r.BytesPerOp == nil || *r.BytesPerOp != 0 ||
+		r.AllocsOp == nil || *r.AllocsOp != 0 {
+		t.Fatalf("result 0 = %+v", r)
+	}
+	r = got[2]
+	if r.Pkg != "ebbiot/internal/store" || r.Name != "BenchmarkAppend" || r.NsPerOp != 499 {
+		t.Fatalf("result 2 = %+v", r)
+	}
+	if r.Metrics["MB/s"] != 178.34 {
+		t.Fatalf("result 2 metrics = %v", r.Metrics)
+	}
+	r = got[3]
+	if r.Name != "BenchmarkReplay" || r.Metrics["segment-reads/segment"] != 1 {
+		t.Fatalf("result 3 = %+v", r)
+	}
+}
+
+func TestTrimProcs(t *testing.T) {
+	for in, want := range map[string]string{
+		"BenchmarkFoo-8":      "BenchmarkFoo",
+		"BenchmarkFoo":        "BenchmarkFoo",
+		"BenchmarkFoo/p=3-16": "BenchmarkFoo/p=3",
+		"BenchmarkFoo-bar":    "BenchmarkFoo-bar",
+	} {
+		if got := trimProcs(in); got != want {
+			t.Fatalf("trimProcs(%q) = %q, want %q", in, got, want)
+		}
+	}
+}

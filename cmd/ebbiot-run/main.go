@@ -319,8 +319,9 @@ func run() error {
 		if *reference {
 			path = "reference"
 		}
-		fmt.Fprintf(os.Stderr, "stage breakdown (%s path, mean µs/window over %d windows): ebbi %.1f, filter %.1f, rpn %.1f, track %.1f, sink %.1f\n",
-			path, agg.Windows, perUS(agg.EBBI), perUS(agg.Filter), perUS(agg.RPN), perUS(agg.Track), sinkUS)
+		fmt.Fprintf(os.Stderr, "stage breakdown (%s path, mean µs/window over %d windows): ebbi %.1f, filter %.1f, rpn %.1f, track %.1f, sink %.1f, active px %.1f%%\n",
+			path, agg.Windows, perUS(agg.EBBI), perUS(agg.Filter), perUS(agg.RPN), perUS(agg.Track), sinkUS,
+			100*agg.MeanActiveFraction())
 	}
 	if v := paramStore.Version(); v > 1 {
 		fmt.Fprintf(os.Stderr, "params: finished on version %d (retuned live %d time(s))\n", v, v-1)

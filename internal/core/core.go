@@ -74,17 +74,36 @@ type StageTimings struct {
 	RPN time.Duration
 	// Track is time spent stepping the tracker.
 	Track time.Duration
+	// ActiveWords and FrameWords accumulate, per window, how much of the
+	// packed frame the active region marked dirty versus the frame's total
+	// word count. Their ratio is the mean active-pixel fraction — the
+	// sparsity the activity-bounded kernels exploit. On the byte reference
+	// path (which has no region tracking) every window counts as fully
+	// active.
+	ActiveWords int64
+	FrameWords  int64
 }
 
 // Add returns the element-wise sum, for aggregating across streams.
 func (t StageTimings) Add(o StageTimings) StageTimings {
 	return StageTimings{
-		Windows: t.Windows + o.Windows,
-		EBBI:    t.EBBI + o.EBBI,
-		Filter:  t.Filter + o.Filter,
-		RPN:     t.RPN + o.RPN,
-		Track:   t.Track + o.Track,
+		Windows:     t.Windows + o.Windows,
+		EBBI:        t.EBBI + o.EBBI,
+		Filter:      t.Filter + o.Filter,
+		RPN:         t.RPN + o.RPN,
+		Track:       t.Track + o.Track,
+		ActiveWords: t.ActiveWords + o.ActiveWords,
+		FrameWords:  t.FrameWords + o.FrameWords,
 	}
+}
+
+// MeanActiveFraction returns the mean active-pixel fraction over the
+// accumulated windows (1 when fully dense, 0 before any window).
+func (t StageTimings) MeanActiveFraction() float64 {
+	if t.FrameWords == 0 {
+		return 0
+	}
+	return float64(t.ActiveWords) / float64(t.FrameWords)
 }
 
 // StageTimer is implemented by systems that record per-stage timings
@@ -175,11 +194,12 @@ func (f *frontend) process(evs []events.Event) (rpn.Result, error) {
 		// Exclusion zones are blanked in the image before region proposal:
 		// the histograms project over full rows/columns, so distractor
 		// pixels anywhere in a column would otherwise contaminate every
-		// proposal.
+		// proposal. The frame's active region bounds the masking and the
+		// RPN, so no stage rescans dead frame area.
 		if f.mask != nil {
-			f.mask.MaskPacked(frame.Filtered)
+			f.mask.MaskPackedRegion(frame.Filtered, frame.Active)
 		}
-		res, err = f.proposer.ProposePacked(frame.Filtered)
+		res, err = f.proposer.ProposePackedRegion(frame.Filtered, frame.Active)
 		if err != nil {
 			return rpn.Result{}, fmt.Errorf("core: rpn: %w", err)
 		}
@@ -188,6 +208,8 @@ func (f *frontend) process(evs []events.Event) (rpn.Result, error) {
 		f.timings.EBBI += t1.Sub(t0)
 		f.timings.Filter += t2.Sub(t1)
 		f.timings.RPN += t3.Sub(t2)
+		f.timings.ActiveWords += int64(frame.Active.CoverageWords())
+		f.timings.FrameWords += int64(frame.Active.FrameWords())
 	} else {
 		f.builder.Accumulate(evs)
 		t1 := time.Now()
@@ -208,6 +230,11 @@ func (f *frontend) process(evs []events.Event) (rpn.Result, error) {
 		f.timings.EBBI += t1.Sub(t0)
 		f.timings.Filter += t2.Sub(t1)
 		f.timings.RPN += t3.Sub(t2)
+		// The byte path scans full frames; count it as fully active so the
+		// fraction stays comparable across representations.
+		words := int64((frame.Raw.W + 63) / 64 * frame.Raw.H)
+		f.timings.ActiveWords += words
+		f.timings.FrameWords += words
 	}
 	f.lastValid = true
 	f.timings.Windows++

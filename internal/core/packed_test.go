@@ -110,3 +110,55 @@ func TestEBBIKFPackedMatchesReference(t *testing.T) {
 		t.Fatal("stage timings not recorded")
 	}
 }
+
+// TestActiveFractionAccounting pins the sparsity stat the monitoring
+// surface reports: the packed path accumulates the active-region coverage
+// per window (well under full frame for a single-object scene), while the
+// byte reference path counts every window as fully dense.
+func TestActiveFractionAccounting(t *testing.T) {
+	fast, err := NewEBBIOT(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fast.Close()
+	refCfg := DefaultConfig()
+	refCfg.Reference = true
+	ref, err := NewEBBIOT(refCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ref.Close()
+
+	// A localized object patch: deterministic, clearly sparse (scene-level
+	// noise would dirty most words and hide the fraction under test).
+	var evs []events.Event
+	for y := 60; y < 80; y++ {
+		for x := 100; x < 130; x += 2 {
+			evs = append(evs, events.Event{X: int16(x), Y: int16(y)})
+		}
+	}
+	for i := 0; i < 5; i++ {
+		if _, err := fast.ProcessWindow(evs); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := ref.ProcessWindow(evs); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	ft := fast.StageTimings()
+	if ft.FrameWords == 0 || ft.ActiveWords <= 0 {
+		t.Fatalf("packed path recorded no coverage: %+v", ft)
+	}
+	if frac := ft.MeanActiveFraction(); frac <= 0 || frac >= 0.5 {
+		t.Fatalf("single-object scene active fraction = %.3f, want sparse (0, 0.5)", frac)
+	}
+	rt := ref.StageTimings()
+	if rt.MeanActiveFraction() != 1 {
+		t.Fatalf("reference path active fraction = %.3f, want 1", rt.MeanActiveFraction())
+	}
+	sum := ft.Add(rt)
+	if sum.ActiveWords != ft.ActiveWords+rt.ActiveWords || sum.FrameWords != ft.FrameWords+rt.FrameWords {
+		t.Fatal("StageTimings.Add drops the coverage counters")
+	}
+}

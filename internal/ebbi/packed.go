@@ -20,6 +20,11 @@ type PackedFrame struct {
 	Raw *imgproc.PackedBitmap
 	// Filtered is the median-filtered EBBI consumed by the RPN.
 	Filtered *imgproc.PackedBitmap
+	// Active is a conservative superset of the set pixels in both Raw and
+	// Filtered (the accumulate-time dirty region dilated by the median
+	// halo). Downstream kernels use it to skip dead frame area; it aliases
+	// builder state with the same lifetime as the bitmaps.
+	Active *imgproc.ActiveRegion
 	// EventCount is the number of events accumulated.
 	EventCount int
 }
@@ -30,12 +35,24 @@ type PackedFrame struct {
 // packed domain. Semantics — frame clock, deferred clearing, buffer
 // aliasing, zero steady-state allocation — mirror Builder exactly, and
 // differential tests hold the two paths bit-identical.
+//
+// On top of the packed frames the builder maintains an
+// imgproc.ActiveRegion — a dirty row span plus per-row dirty word bitmaps,
+// updated O(1) per accumulated event — which makes the whole downstream
+// frame chain activity-bounded: Finish runs the median only over the dirty
+// span plus its halo, the frame's deferred clear touches only dirty rows,
+// and the returned PackedFrame carries the (halo-dilated) region for the
+// RPN kernels.
 type PackedBuilder struct {
 	cfg      Config
 	raw      *imgproc.PackedBitmap
 	filtered *imgproc.PackedBitmap
-	frameIdx int
-	count    int
+	// active is the raw frame's dirty region for the accumulating window;
+	// outActive is the halo-dilated copy handed out via PackedFrame.
+	active    *imgproc.ActiveRegion
+	outActive *imgproc.ActiveRegion
+	frameIdx  int
+	count     int
 	// needsClear defers zeroing the raw buffer until the next frame starts,
 	// so the PackedFrame returned by Finish stays readable until then.
 	needsClear bool
@@ -49,9 +66,11 @@ func NewPackedBuilder(cfg Config) (*PackedBuilder, error) {
 		return nil, err
 	}
 	return &PackedBuilder{
-		cfg:      cfg,
-		raw:      imgproc.GetPacked(cfg.Res.A, cfg.Res.B),
-		filtered: imgproc.GetPacked(cfg.Res.A, cfg.Res.B),
+		cfg:       cfg,
+		raw:       imgproc.GetPacked(cfg.Res.A, cfg.Res.B),
+		filtered:  imgproc.GetPacked(cfg.Res.A, cfg.Res.B),
+		active:    imgproc.NewActiveRegion(cfg.Res.A, cfg.Res.B),
+		outActive: imgproc.NewActiveRegion(cfg.Res.A, cfg.Res.B),
 	}, nil
 }
 
@@ -62,6 +81,7 @@ func (b *PackedBuilder) Release() {
 	imgproc.PutPacked(b.raw)
 	imgproc.PutPacked(b.filtered)
 	b.raw, b.filtered = nil, nil
+	b.active, b.outActive = nil, nil
 }
 
 // Config returns the builder's configuration.
@@ -69,9 +89,10 @@ func (b *PackedBuilder) Config() Config { return b.cfg }
 
 // Reconfigure rebuilds the builder in place for a new configuration,
 // mirroring Builder.Reconfigure: the packed double buffer is reused when
-// the sensor resolution is unchanged, all accumulation state resets, and
-// the result is indistinguishable from a fresh NewPackedBuilder(cfg). On
-// error the builder is left untouched.
+// the sensor resolution is unchanged, all accumulation state — including
+// the active-region tracking — resets, and the result is indistinguishable
+// from a fresh NewPackedBuilder(cfg). On error the builder is left
+// untouched.
 func (b *PackedBuilder) Reconfigure(cfg Config) error {
 	if err := cfg.Validate(); err != nil {
 		return err
@@ -81,9 +102,13 @@ func (b *PackedBuilder) Reconfigure(cfg Config) error {
 		imgproc.PutPacked(b.filtered)
 		b.raw = imgproc.GetPacked(cfg.Res.A, cfg.Res.B)
 		b.filtered = imgproc.GetPacked(cfg.Res.A, cfg.Res.B)
+		b.active.Resize(cfg.Res.A, cfg.Res.B)
+		b.outActive.Resize(cfg.Res.A, cfg.Res.B)
 	} else {
 		b.raw.Clear()
 		b.filtered.Clear()
+		b.active.Reset()
+		b.outActive.Reset()
 	}
 	b.cfg = cfg
 	b.frameIdx = 0
@@ -93,45 +118,65 @@ func (b *PackedBuilder) Reconfigure(cfg Config) error {
 }
 
 // Accumulate latches a batch of events into the current frame: each in-array
-// event ORs one bit into the packed raw EBBI. Events outside the sensor
-// array are ignored; polarity is ignored (the EBBI is binary).
+// event ORs one bit into the packed raw EBBI and marks its storage word in
+// the active region. Events outside the sensor array are ignored; polarity
+// is ignored (the EBBI is binary).
 func (b *PackedBuilder) Accumulate(evs []events.Event) {
 	if b.needsClear {
-		b.raw.Clear()
-		b.needsClear = false
+		b.clearFrame()
 	}
 	a, bb := b.cfg.Res.A, b.cfg.Res.B
 	stride := b.raw.Stride
 	words := b.raw.Words
+	ar := b.active
 	for _, e := range evs {
 		x, y := int(e.X), int(e.Y)
 		if x >= 0 && x < a && y >= 0 && y < bb {
-			words[y*stride+x>>6] |= uint64(1) << (uint(x) & 63)
+			w := x >> 6
+			words[y*stride+w] |= uint64(1) << (uint(x) & 63)
+			ar.MarkWord(y, w)
 			b.count++
 		}
 	}
 }
 
-// Finish runs the word-parallel median filter and returns the completed
-// frame, then resets the accumulator for the next frame window. The returned
-// frame's bitmaps alias the builder's double buffer and are valid only until
-// the next Finish call; callers that need to retain a frame must Clone.
+// clearFrame performs the deferred between-frames clear: only the rows the
+// previous window dirtied are zeroed (the rest of the buffer is already
+// zero by the region invariant), then the region resets.
+func (b *PackedBuilder) clearFrame() {
+	if y0, y1 := b.active.RowSpan(); y1 > y0 {
+		clear(b.raw.Words[y0*b.raw.Stride : y1*b.raw.Stride])
+	}
+	b.active.Reset()
+	b.needsClear = false
+}
+
+// Finish runs the word-parallel median filter — bounded to the window's
+// active region plus the filter halo — and returns the completed frame,
+// then resets the accumulator for the next frame window. The returned
+// frame's bitmaps and active region alias the builder's double buffer and
+// are valid only until the next Finish call; callers that need to retain a
+// frame must Clone.
 func (b *PackedBuilder) Finish() (PackedFrame, error) {
 	if b.needsClear {
 		// No events arrived this frame; the buffer still holds the previous
 		// frame's image and must be cleared before filtering.
-		b.raw.Clear()
-		b.needsClear = false
+		b.clearFrame()
 	}
-	if err := imgproc.PackedMedianFilter(b.filtered, b.raw, b.cfg.MedianP); err != nil {
+	if err := imgproc.PackedMedianFilterRange(b.filtered, b.raw, b.cfg.MedianP, b.active); err != nil {
 		return PackedFrame{}, fmt.Errorf("ebbi: median filter: %w", err)
 	}
+	// The filtered image can only hold set pixels within p/2 of a raw set
+	// pixel; the dilated region therefore covers Filtered (and trivially
+	// Raw) for every downstream consumer.
+	b.outActive.SetDilated(b.active, b.cfg.MedianP/2)
 	f := PackedFrame{
 		Index:      b.frameIdx,
 		Start:      int64(b.frameIdx) * b.cfg.FrameUS,
 		End:        int64(b.frameIdx+1) * b.cfg.FrameUS,
 		Raw:        b.raw,
 		Filtered:   b.filtered,
+		Active:     b.outActive,
 		EventCount: b.count,
 	}
 	b.frameIdx++

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"ebbiot/internal/events"
+	"ebbiot/internal/imgproc"
 )
 
 // TestPackedBuilderParity drives the byte and packed builders through the
@@ -56,6 +57,137 @@ func TestPackedBuilderParity(t *testing.T) {
 		}
 		if !pf.Filtered.Unpack(nil).Equal(rf.Filtered) {
 			t.Fatalf("frame %d: filtered EBBI mismatch", frame)
+		}
+	}
+}
+
+// TestPackedBuilderActiveRegion asserts the frame's active region is a
+// superset of the set pixels in both the raw and the filtered EBBI, that
+// its coverage tracks sparsity (a localized window dirties a small
+// fraction), and that an empty window yields an empty region.
+func TestPackedBuilderActiveRegion(t *testing.T) {
+	cfg := DefaultConfig()
+	b, err := NewPackedBuilder(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Release()
+
+	// A dense 20x20 patch plus one far-away pixel.
+	var evs []events.Event
+	for y := 40; y < 60; y++ {
+		for x := 100; x < 120; x++ {
+			evs = append(evs, events.Event{X: int16(x), Y: int16(y)})
+		}
+	}
+	evs = append(evs, events.Event{X: 5, Y: 170})
+	b.Accumulate(evs)
+	f, err := b.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, img := range []*struct {
+		name string
+		bm   *imgproc.PackedBitmap
+	}{{"raw", f.Raw}, {"filtered", f.Filtered}} {
+		for y := 0; y < img.bm.H; y++ {
+			for k, w := range img.bm.Row(y) {
+				if w != 0 && f.Active.RowMask(y)&(1<<uint(k)) == 0 {
+					t.Fatalf("%s: set pixels in row %d word %d outside active region", img.name, y, k)
+				}
+			}
+		}
+	}
+	if cov, total := f.Active.CoverageWords(), f.Active.FrameWords(); cov == 0 || cov*4 > total {
+		t.Fatalf("active coverage %d/%d not sparse", cov, total)
+	}
+
+	// Empty window: the region must reset along with the deferred clear.
+	b.Accumulate(nil)
+	f, err = b.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !f.Active.Empty() {
+		y0, y1 := f.Active.RowSpan()
+		t.Fatalf("empty window left active span [%d,%d)", y0, y1)
+	}
+	if f.Raw.CountOnes() != 0 || f.Filtered.CountOnes() != 0 {
+		t.Fatal("empty window left pixels set")
+	}
+}
+
+// TestPackedBuilderReconfigureResetsActive is the mid-run Reconfigure
+// differential: after Reconfigure, the builder — including its
+// active-region state — must behave bit-identically to a freshly built
+// one, even though the previous window dirtied a completely different part
+// of the frame.
+func TestPackedBuilderReconfigureResetsActive(t *testing.T) {
+	cfg := DefaultConfig()
+	b, err := NewPackedBuilder(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Release()
+
+	// Dirty the top-left corner, finish, then reconfigure mid-run.
+	var first []events.Event
+	for i := 0; i < 300; i++ {
+		first = append(first, events.Event{X: int16(i % 30), Y: int16(i % 20)})
+	}
+	b.Accumulate(first)
+	if _, err := b.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	cfg2 := cfg
+	cfg2.MedianP = 5
+	if err := b.Reconfigure(cfg2); err != nil {
+		t.Fatal(err)
+	}
+
+	fresh, err := NewPackedBuilder(cfg2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fresh.Release()
+
+	// Drive both through the same windows (bottom-right activity, then an
+	// empty window): frames, regions and clocks must match exactly.
+	rng := rand.New(rand.NewSource(3))
+	for frame := 0; frame < 3; frame++ {
+		var evs []events.Event
+		if frame != 1 {
+			for i := 0; i < 400; i++ {
+				evs = append(evs, events.Event{X: int16(150 + rng.Intn(80)), Y: int16(100 + rng.Intn(70))})
+			}
+		}
+		b.Accumulate(evs)
+		fresh.Accumulate(evs)
+		got, err := b.Finish()
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := fresh.Finish()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Index != want.Index || got.EventCount != want.EventCount {
+			t.Fatalf("frame %d: clock mismatch: got {%d %d} want {%d %d}",
+				frame, got.Index, got.EventCount, want.Index, want.EventCount)
+		}
+		if !got.Raw.Equal(want.Raw) || !got.Filtered.Equal(want.Filtered) {
+			t.Fatalf("frame %d: reconfigured builder diverges from fresh builder", frame)
+		}
+		gy0, gy1 := got.Active.RowSpan()
+		wy0, wy1 := want.Active.RowSpan()
+		if gy0 != wy0 || gy1 != wy1 {
+			t.Fatalf("frame %d: active span [%d,%d) != fresh [%d,%d)", frame, gy0, gy1, wy0, wy1)
+		}
+		for y := gy0; y < gy1; y++ {
+			if got.Active.RowMask(y) != want.Active.RowMask(y) {
+				t.Fatalf("frame %d row %d: active mask %x != fresh %x",
+					frame, y, got.Active.RowMask(y), want.Active.RowMask(y))
+			}
 		}
 	}
 }

@@ -1,0 +1,230 @@
+package imgproc
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// regionFor builds the exact active region of a packed bitmap: every word
+// holding a set pixel is marked. This mirrors what accumulate-time
+// tracking produces when every marked word still holds its pixel.
+func regionFor(p *PackedBitmap) *ActiveRegion {
+	ar := NewActiveRegion(p.W, p.H)
+	for y := 0; y < p.H; y++ {
+		for k, w := range p.Row(y) {
+			if w != 0 {
+				ar.MarkWord(y, k)
+			}
+		}
+	}
+	return ar
+}
+
+// garbageFill sets every pixel of dst so missing bulk clears in ranged
+// kernels show up as stale ones in the output.
+func garbageFill(dst *PackedBitmap) {
+	for i := range dst.Words {
+		dst.Words[i] = ^uint64(0)
+	}
+	dst.clearTail()
+}
+
+// rangedKernelCase checks every ranged kernel against its full-frame
+// counterpart for one bitmap and one (superset) region.
+func rangedKernelCase(t *testing.T, src *PackedBitmap, ar *ActiveRegion, p, s1, s2, r int) {
+	t.Helper()
+	w, h := src.W, src.H
+
+	want := NewPackedBitmap(w, h)
+	if err := PackedMedianFilter(want, src, p); err != nil {
+		t.Fatal(err)
+	}
+	got := NewPackedBitmap(w, h)
+	garbageFill(got)
+	if err := PackedMedianFilterRange(got, src, p, ar); err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(want) {
+		t.Fatalf("ranged median != full (w=%d h=%d p=%d)\nfull:\n%s\nranged:\n%s", w, h, p, want, got)
+	}
+
+	wantDS, err := PackedDownsampleInto(nil, src, s1, s2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotDS, err := PackedDownsampleIntoRange(nil, src, s1, s2, ar)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotDS.W != wantDS.W || gotDS.H != wantDS.H {
+		t.Fatalf("ranged downsample size (%d,%d) != (%d,%d)", gotDS.W, gotDS.H, wantDS.W, wantDS.H)
+	}
+	for i := range wantDS.Pix {
+		if gotDS.Pix[i] != wantDS.Pix[i] {
+			t.Fatalf("ranged downsample block %d: %d != %d (w=%d h=%d s1=%d s2=%d)",
+				i, gotDS.Pix[i], wantDS.Pix[i], w, h, s1, s2)
+		}
+	}
+
+	wantHX, wantHY, err := PackedHistogramsInto(nil, nil, src, s1, s2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotHX, gotHY, err := PackedHistogramsIntoRange(nil, nil, src, s1, s2, ar)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !intsEqual(gotHX, wantHX) || !intsEqual(gotHY, wantHY) {
+		t.Fatalf("ranged histograms mismatch (w=%d h=%d s1=%d s2=%d)", w, h, s1, s2)
+	}
+
+	if !componentsEqual(PackedConnectedComponentsRegion(src, ar), PackedConnectedComponents(src)) {
+		t.Fatalf("ranged CCA mismatch (w=%d h=%d)", w, h)
+	}
+
+	wantDil := PackedDilate(nil, src, r)
+	gotDil := PackedDilateRegion(nil, src, r, ar)
+	if !gotDil.Equal(wantDil) {
+		t.Fatalf("ranged dilate mismatch (w=%d h=%d r=%d)", w, h, r)
+	}
+	wantEro := PackedErode(nil, src, r)
+	gotEro := PackedErodeRegion(nil, src, r, ar)
+	if !gotEro.Equal(wantEro) {
+		t.Fatalf("ranged erode mismatch (w=%d h=%d r=%d)", w, h, r)
+	}
+}
+
+// TestRangedKernelsSparsityLevels pins the sparsity levels the issue calls
+// out — empty window, single pixel (corners and centre), border-saturated
+// and full frame — plus word-boundary straddles, at several patch sizes.
+func TestRangedKernelsSparsityLevels(t *testing.T) {
+	const w, h = 240, 180
+	build := func(name string, set func(p *PackedBitmap)) (string, *PackedBitmap) {
+		p := NewPackedBitmap(w, h)
+		set(p)
+		return name, p
+	}
+	names := make([]string, 0, 8)
+	frames := make(map[string]*PackedBitmap)
+	add := func(name string, set func(p *PackedBitmap)) {
+		n, p := build(name, set)
+		names = append(names, n)
+		frames[n] = p
+	}
+	add("empty", func(p *PackedBitmap) {})
+	add("single-centre", func(p *PackedBitmap) { p.Set(127, 90) })
+	add("single-origin", func(p *PackedBitmap) { p.Set(0, 0) })
+	add("single-far-corner", func(p *PackedBitmap) { p.Set(w-1, h-1) })
+	add("word-straddle", func(p *PackedBitmap) {
+		for x := 60; x < 70; x++ { // crosses the bit-63/64 boundary
+			for y := 88 + 0; y < 93; y++ {
+				p.Set(x, y)
+			}
+		}
+	})
+	add("border-saturated", func(p *PackedBitmap) {
+		for x := 0; x < w; x++ {
+			p.Set(x, 0)
+			p.Set(x, h-1)
+		}
+		for y := 0; y < h; y++ {
+			p.Set(0, y)
+			p.Set(w-1, y)
+		}
+	})
+	add("full", func(p *PackedBitmap) {
+		for i := range p.Words {
+			p.Words[i] = ^uint64(0)
+		}
+		p.clearTail()
+	})
+
+	for _, name := range names {
+		src := frames[name]
+		t.Run(name, func(t *testing.T) {
+			for _, p := range []int{1, 3, 5} {
+				// Exact region, a loose superset region, and the
+				// no-information full region must all agree with the
+				// full-frame kernels.
+				exact := regionFor(src)
+				loose := NewActiveRegion(w, h)
+				loose.SetDilated(exact, 70) // smears across a word boundary
+				full := NewActiveRegion(w, h)
+				full.MarkAll()
+				for _, ar := range []*ActiveRegion{exact, loose, full} {
+					rangedKernelCase(t, src, ar, p, 6, 3, p/2)
+				}
+			}
+		})
+	}
+}
+
+// TestRangedKernelsRandom cross-checks random frames, widths (including
+// non-multiples of 64) and geometries against the full-frame kernels with
+// exact regions.
+func TestRangedKernelsRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 60; trial++ {
+		w := rng.Intn(200) + 1
+		h := rng.Intn(120) + 1
+		src := NewPackedBitmap(w, h)
+		n := rng.Intn(w * h / 4)
+		for i := 0; i < n; i++ {
+			src.Set(rng.Intn(w), rng.Intn(h))
+		}
+		p := 2*rng.Intn(4) + 1
+		s1, s2 := rng.Intn(8)+1, rng.Intn(8)+1
+		rangedKernelCase(t, src, regionFor(src), p, s1, s2, rng.Intn(3))
+	}
+}
+
+// TestActiveRegionBasics pins the summary type itself: marking, span and
+// coverage accounting, reset, and dilation growth/clamping.
+func TestActiveRegionBasics(t *testing.T) {
+	ar := NewActiveRegion(240, 180)
+	if !ar.Empty() {
+		t.Fatal("fresh region not empty")
+	}
+	if got := ar.CoverageWords(); got != 0 {
+		t.Fatalf("empty coverage = %d", got)
+	}
+	if ar.FrameWords() != 4*180 {
+		t.Fatalf("frame words = %d, want %d", ar.FrameWords(), 4*180)
+	}
+	ar.MarkWord(10, 1)
+	ar.MarkWord(12, 2)
+	if y0, y1 := ar.RowSpan(); y0 != 10 || y1 != 13 {
+		t.Fatalf("span = [%d,%d)", y0, y1)
+	}
+	if got := ar.CoverageWords(); got != 2 {
+		t.Fatalf("coverage = %d, want 2", got)
+	}
+	if ar.RowMask(11) != 0 {
+		t.Fatalf("unmarked row has mask %x", ar.RowMask(11))
+	}
+	if ar.RowMask(9) != 0 || ar.RowMask(13) != 0 {
+		t.Fatal("rows outside span must have zero masks")
+	}
+
+	var dil ActiveRegion
+	dil.SetDilated(ar, 1)
+	if y0, y1 := dil.RowSpan(); y0 != 9 || y1 != 14 {
+		t.Fatalf("dilated span = [%d,%d)", y0, y1)
+	}
+	// r=1 smears each mask one word to both sides and unions rows.
+	if got := dil.RowMask(11); got != 0b1111 {
+		t.Fatalf("dilated mask row 11 = %b", got)
+	}
+	if got := dil.RowMask(9); got != 0b0111 {
+		t.Fatalf("dilated mask row 9 = %b", got)
+	}
+
+	ar.Reset()
+	if !ar.Empty() || ar.CoverageWords() != 0 {
+		t.Fatal("reset did not empty the region")
+	}
+	ar.MarkAll()
+	if ar.CoverageWords() != ar.FrameWords() {
+		t.Fatalf("MarkAll coverage %d != frame %d", ar.CoverageWords(), ar.FrameWords())
+	}
+}

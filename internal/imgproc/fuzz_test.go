@@ -8,6 +8,10 @@ import "testing"
 // word-boundary straddles), the pixel contents, the median patch size and
 // the downsampling factors; the byte path is itself cross-checked against
 // the literal O(p^2) median so a shared bug in both fast paths cannot hide.
+// The ranged (activity-bounded) kernel variants are fuzzed against the
+// full-frame kernels with both the exact dirty region and a randomly
+// over-approximated superset (the region contract allows marked words that
+// hold no pixels).
 func FuzzPackedKernels(f *testing.F) {
 	f.Add(uint8(240), uint8(1), uint8(2), uint8(1), []byte("\x01\x00\xff seed"))
 	f.Add(uint8(64), uint8(0), uint8(5), uint8(2), []byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff})
@@ -93,6 +97,55 @@ func FuzzPackedKernels(f *testing.F) {
 		}
 		if !PackedErode(nil, psrc, r).Unpack(nil).Equal(Erode(src, r)) {
 			t.Fatalf("packed erode mismatch (w=%d h=%d r=%d)", w, h, r)
+		}
+
+		// Ranged variants: the exact region of the frame, plus a superset
+		// loosened by extra marks derived from the fuzz input. Both must
+		// reproduce the full-frame kernels bit for bit; the ranged median
+		// output buffer is pre-filled with garbage so a missing bulk clear
+		// cannot hide.
+		exact := regionFor(psrc)
+		loose := regionFor(psrc)
+		for i, b := range pix {
+			if b&0x10 != 0 {
+				loose.MarkWord(i%h, int(b)%((w+63)/64))
+			}
+		}
+		for _, ar := range []*ActiveRegion{exact, loose} {
+			pdstR := NewPackedBitmap(w, h)
+			garbageFill(pdstR)
+			if err := PackedMedianFilterRange(pdstR, psrc, p, ar); err != nil {
+				t.Fatal(err)
+			}
+			if !pdstR.Equal(pdst) {
+				t.Fatalf("ranged median != full (w=%d h=%d p=%d)", w, h, p)
+			}
+			checkTailInvariant(t, pdstR)
+			gotDSR, err := PackedDownsampleIntoRange(nil, psrc, s1, s2, ar)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := range wantDS.Pix {
+				if gotDSR.Pix[i] != wantDS.Pix[i] {
+					t.Fatalf("ranged downsample block %d: %d != %d (w=%d h=%d s1=%d s2=%d)", i, gotDSR.Pix[i], wantDS.Pix[i], w, h, s1, s2)
+				}
+			}
+			gotHXR, gotHYR, err := PackedHistogramsIntoRange(nil, nil, psrc, s1, s2, ar)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !intsEqual(gotHXR, wantHX) || !intsEqual(gotHYR, wantHY) {
+				t.Fatalf("ranged histograms mismatch (w=%d h=%d s1=%d s2=%d)", w, h, s1, s2)
+			}
+			if !componentsEqual(PackedConnectedComponentsRegion(psrc, ar), PackedConnectedComponents(psrc)) {
+				t.Fatalf("ranged CCA mismatch (w=%d h=%d)", w, h)
+			}
+			if !PackedDilateRegion(nil, psrc, r, ar).Unpack(nil).Equal(Dilate(src, r)) {
+				t.Fatalf("ranged dilate mismatch (w=%d h=%d r=%d)", w, h, r)
+			}
+			if !PackedErodeRegion(nil, psrc, r, ar).Unpack(nil).Equal(Erode(src, r)) {
+				t.Fatalf("ranged erode mismatch (w=%d h=%d r=%d)", w, h, r)
+			}
 		}
 	})
 }

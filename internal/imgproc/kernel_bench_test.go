@@ -145,6 +145,129 @@ func BenchmarkCCAPacked(b *testing.B) {
 	}
 }
 
+// benchSceneFrame builds a DAVIS240-sized frame whose activity is confined
+// to object patches touching roughly activeRows of the frame's rows, with
+// no global noise — the sparsity shape of typical traffic scenes, where
+// events touch a small band of the array and the rest stays dark.
+func benchSceneFrame(w, h, activeRows int) *PackedBitmap {
+	rng := rand.New(rand.NewSource(7))
+	p := NewPackedBitmap(w, h)
+	if activeRows <= 0 {
+		return p
+	}
+	// Two vehicle-sized patches splitting the active row budget.
+	ph := activeRows / 2
+	if ph == 0 {
+		ph = 1
+	}
+	type patch struct{ x, y, pw, ph int }
+	patches := []patch{
+		{60, 70, 34, ph},
+		{150, 110, 40, activeRows - ph},
+	}
+	for _, pt := range patches {
+		for y := pt.y; y < pt.y+pt.ph && y < h; y++ {
+			for x := pt.x; x < pt.x+pt.pw && x < w; x++ {
+				if rng.Float64() < 0.6 {
+					p.Set(x, y)
+				}
+			}
+		}
+	}
+	return p
+}
+
+// benchScenes are the sparsity levels the activity-bounded kernels are
+// measured at: fully dense (every row busy — the worst case, where the
+// ranged path must not regress), ~10% of rows active, and ~1% active.
+func benchScenes() []struct {
+	name string
+	src  *PackedBitmap
+} {
+	dense := PackBitmap(nil, benchFrame(240, 180))
+	return []struct {
+		name string
+		src  *PackedBitmap
+	}{
+		{"dense", dense},
+		{"active10pct", benchSceneFrame(240, 180, 18)},
+		{"active1pct", benchSceneFrame(240, 180, 2)},
+	}
+}
+
+// BenchmarkMedianPackedSparsity measures the median filter with and
+// without the active region across sparsity levels; "full" is the
+// full-frame kernel, "ranged" consumes the frame's exact dirty region (the
+// state accumulate-time tracking maintains).
+func BenchmarkMedianPackedSparsity(b *testing.B) {
+	for _, sc := range benchScenes() {
+		ar := regionFor(sc.src)
+		dst := NewPackedBitmap(240, 180)
+		b.Run(sc.name+"/full", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if err := PackedMedianFilter(dst, sc.src, 3); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(sc.name+"/ranged", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if err := PackedMedianFilterRange(dst, sc.src, 3, ar); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkHistogramsPackedSparsity is the fused downsample+histogram
+// kernel across the same sparsity grid.
+func BenchmarkHistogramsPackedSparsity(b *testing.B) {
+	for _, sc := range benchScenes() {
+		ar := regionFor(sc.src)
+		var hx, hy []int
+		var err error
+		b.Run(sc.name+"/full", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if hx, hy, err = PackedHistogramsInto(hx, hy, sc.src, 6, 3); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(sc.name+"/ranged", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if hx, hy, err = PackedHistogramsIntoRange(hx, hy, sc.src, 6, 3, ar); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkCCAPackedSparsity is the run-extraction CCA across the same
+// sparsity grid (dilation radius 0, matching the RPN ablation default).
+func BenchmarkCCAPackedSparsity(b *testing.B) {
+	for _, sc := range benchScenes() {
+		ar := regionFor(sc.src)
+		b.Run(sc.name+"/full", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				PackedConnectedComponents(sc.src)
+			}
+		})
+		b.Run(sc.name+"/ranged", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				PackedConnectedComponentsRegion(sc.src, ar)
+			}
+		})
+	}
+}
+
 func BenchmarkPackUnpack(b *testing.B) {
 	src := benchFrame(240, 180)
 	var p *PackedBitmap

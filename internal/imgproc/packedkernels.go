@@ -19,6 +19,18 @@ import (
 // dst and src must be distinct packed bitmaps of the same size; p must be
 // odd and >= 1.
 func PackedMedianFilter(dst, src *PackedBitmap, p int) error {
+	return PackedMedianFilterRange(dst, src, p, nil)
+}
+
+// PackedMedianFilterRange is PackedMedianFilter bounded by an active
+// region: only output rows within the region's row span plus the p/2 halo
+// are computed (the rest of dst is bulk-cleared), the vertical column
+// window slides over dirty source rows only, and per-row column bounding
+// consults the region's dirty-word masks instead of scanning every word.
+// ar must be a superset of src's set pixels (see ActiveRegion); nil means
+// no information and processes the full frame. Output is bit-identical to
+// the full-frame filter at every sparsity level.
+func PackedMedianFilterRange(dst, src *PackedBitmap, p int, ar *ActiveRegion) error {
 	if p < 1 || p%2 == 0 {
 		return fmt.Errorf("imgproc: median patch size must be odd and positive, got %d", p)
 	}
@@ -32,47 +44,115 @@ func PackedMedianFilter(dst, src *PackedBitmap, p int) error {
 	if w == 0 || h == 0 {
 		return nil
 	}
+	if ar != nil && ar.Empty() {
+		// No set pixels anywhere: every patch count is 0, which never
+		// clears the > thresh test (thresh >= 0).
+		dst.Clear()
+		return nil
+	}
+	if p == 3 && ar != nil {
+		// The paper's default patch size gets the bit-sliced kernel: 64
+		// output pixels per handful of word ops, no per-pixel slide.
+		packedMedian3Region(dst, src, ar)
+		return nil
+	}
 	half := p / 2
 	thresh := int32((p * p) / 2)
+	// ry bounds the dirty source rows; output rows can be nonzero only
+	// within the half-halo around them. Everything else is bulk-cleared.
+	ry0, ry1 := 0, h
+	if ar != nil {
+		ry0, ry1 = ar.RowSpan()
+	}
+	oy0, oy1 := ry0-half, ry1+half
+	if oy0 < 0 {
+		oy0 = 0
+	}
+	if oy1 > h {
+		oy1 = h
+	}
+	stride := dst.Stride
+	// One bulk clear covers the dead frame area and pre-zeroes the output
+	// rows, so the slide below only ORs set bits in.
+	clear(dst.Words)
+
 	colp := getColCounts(w)
 	defer putColCounts(colp)
 	col := *colp
 
-	// Seed the vertical window for output row 0: source rows [0, half].
-	top := half
-	if top >= h {
-		top = h - 1
+	// Direct dirty-mask access for the hot loop; nil when the region gives
+	// no per-word information (absent or degraded to span-only).
+	var rowsMask []uint64
+	if ar != nil && !ar.wide {
+		rowsMask = ar.rows
 	}
-	for r := 0; r <= top; r++ {
+
+	// Seed the vertical window for output row oy0 from the dirty rows it
+	// covers (rows outside [ry0, ry1) are all-zero and contribute nothing).
+	seedLo, seedHi := oy0-half, oy0+half
+	if seedLo < ry0 {
+		seedLo = ry0
+	}
+	if seedHi >= ry1 {
+		seedHi = ry1 - 1
+	}
+	for r := seedLo; r <= seedHi; r++ {
 		addPackedRow(col, src.Row(r))
 	}
-	for y := 0; y < h; y++ {
-		out := dst.Row(y)
+	for y := oy0; y < oy1; y++ {
 		// EBBI frames are sparse: most vertical windows cover only a narrow
 		// band of set columns (or none). Bound the horizontal slide to the
 		// union span of set bits in the window's rows — found by scanning
-		// whole words — and emit zero words elsewhere: outside the span
-		// every patch count is zero, which never clears the > thresh test.
+		// whole words, narrowed to the region's dirty words when a region
+		// is given — and emit zero words elsewhere: outside the span every
+		// patch count is zero, which never clears the > thresh test.
 		lo, hi := w, -1
 		yLo, yHi := y-half, y+half
-		if yLo < 0 {
-			yLo = 0
+		if yLo < ry0 {
+			yLo = ry0
 		}
-		if yHi >= h {
-			yHi = h - 1
+		if yHi >= ry1 {
+			yHi = ry1 - 1
 		}
-		for r := yLo; r <= yHi; r++ {
-			if f, l, ok := rowSpan(src.Row(r)); ok {
-				if f < lo {
-					lo = f
+		if rowsMask != nil {
+			var wm uint64
+			for r := yLo; r <= yHi; r++ {
+				wm |= rowsMask[r]
+			}
+			if wm != 0 {
+				ka := bits.TrailingZeros64(wm)
+				kb := 63 - bits.LeadingZeros64(wm)
+				if kb >= stride {
+					kb = stride - 1
 				}
-				if l > hi {
-					hi = l
+				for r := yLo; r <= yHi; r++ {
+					if rowsMask[r] == 0 {
+						continue
+					}
+					if f, l, ok := rowSpanWords(src.Row(r), ka, kb); ok {
+						if f < lo {
+							lo = f
+						}
+						if l > hi {
+							hi = l
+						}
+					}
+				}
+			}
+		} else {
+			for r := yLo; r <= yHi; r++ {
+				if f, l, ok := rowSpan(src.Row(r)); ok {
+					if f < lo {
+						lo = f
+					}
+					if l > hi {
+						hi = l
+					}
 				}
 			}
 		}
-		clear(out)
 		if hi >= 0 {
+			out := dst.Row(y)
 			x0, x1 := lo-half, hi+half+1
 			if x0 < 0 {
 				x0 = 0
@@ -98,11 +178,12 @@ func PackedMedianFilter(dst, src *PackedBitmap, p int) error {
 				}
 			}
 		}
-		// Slide the vertical window to be centred on y+1.
-		if ny := y + half + 1; ny < h {
+		// Slide the vertical window to be centred on y+1, touching only
+		// dirty rows (clean rows hold no counts to add or remove).
+		if ny := y + half + 1; ny >= ry0 && ny < ry1 {
 			addPackedRow(col, src.Row(ny))
 		}
-		if oy := y - half; oy >= 0 {
+		if oy := y - half; oy >= ry0 && oy < ry1 {
 			subPackedRow(col, src.Row(oy))
 		}
 	}
@@ -121,6 +202,153 @@ func rowSpan(row []uint64) (first, last int, ok bool) {
 	}
 	first = i<<6 + bits.TrailingZeros64(row[i])
 	j := len(row) - 1
+	for row[j] == 0 {
+		j--
+	}
+	last = j<<6 + 63 - bits.LeadingZeros64(row[j])
+	return first, last, true
+}
+
+// packedMedian3Region is the 3 x 3 median specialised to bit-sliced
+// word-parallel form, bounded to the active region: instead of sliding a
+// per-pixel sum, the per-column vertical counts of three rows are held as
+// two bit-planes (a carry-save adder over whole words), the horizontal
+// 3-column sum as four bit-planes, and the > 4 majority test as a single
+// boolean expression — 64 output pixels per ~40 word ops, touching only
+// the region's dirty words plus their one-word halo. The caller guarantees
+// ar != nil and non-empty; output is bit-identical to the sliding kernel.
+func packedMedian3Region(dst, src *PackedBitmap, ar *ActiveRegion) {
+	h, stride := src.H, src.Stride
+	clear(dst.Words)
+	ry0, ry1 := ar.RowSpan()
+	var rowsMask []uint64
+	if !ar.wide {
+		rowsMask = ar.rows
+	}
+	oy0, oy1 := ry0-1, ry1+1
+	if oy0 < 0 {
+		oy0 = 0
+	}
+	if oy1 > h {
+		oy1 = h
+	}
+	for y := oy0; y < oy1; y++ {
+		// The three window rows, nil when outside the image or the dirty
+		// span (both all-zero).
+		var ra, rb, rc []uint64
+		if yy := y - 1; yy >= ry0 && yy < ry1 {
+			ra = src.Row(yy)
+		}
+		if y >= ry0 && y < ry1 {
+			rb = src.Row(y)
+		}
+		if yy := y + 1; yy >= ry0 && yy < ry1 {
+			rc = src.Row(yy)
+		}
+		// Output words: the window's dirty words. A clean word cannot
+		// produce output — its own vertical counts are zero and a single
+		// neighbouring column's count (<= 3) cannot exceed the threshold 4.
+		ka, kb := 0, stride-1
+		if rowsMask != nil {
+			var wm uint64
+			lo, hi := y-1, y+1
+			if lo < ry0 {
+				lo = ry0
+			}
+			if hi >= ry1 {
+				hi = ry1 - 1
+			}
+			for r := lo; r <= hi; r++ {
+				wm |= rowsMask[r]
+			}
+			if wm == 0 {
+				continue
+			}
+			ka = bits.TrailingZeros64(wm)
+			kb = 63 - bits.LeadingZeros64(wm)
+			if kb >= stride {
+				kb = stride - 1
+			}
+		}
+		out := dst.Row(y)
+		// Rolling bit-planes of the vertical counts: (p1 p0) for word k-1,
+		// (c1 c0) for k, (n1 n0) for k+1. count = a + b + c per column:
+		// low plane a^b^c, high plane majority(a, b, c).
+		var p0, p1, c0, c1, n0, n1 uint64
+		var a, b, c uint64
+		if k := ka - 1; k >= 0 {
+			a, b, c = word3(ra, rb, rc, k)
+			ab := a ^ b
+			p0, p1 = ab^c, (a&b)|(ab&c)
+		}
+		a, b, c = word3(ra, rb, rc, ka)
+		ab := a ^ b
+		c0, c1 = ab^c, (a&b)|(ab&c)
+		for k := ka; k <= kb; k++ {
+			n0, n1 = 0, 0
+			if k+1 < stride {
+				a, b, c = word3(ra, rb, rc, k+1)
+				ab = a ^ b
+				n0, n1 = ab^c, (a&b)|(ab&c)
+			}
+			// Neighbour columns aligned onto this word's bit positions:
+			// column x-1 arrives by shifting up (carry bit 63 of word k-1),
+			// column x+1 by shifting down (carry bit 0 of word k+1).
+			l0 := c0<<1 | p0>>63
+			l1 := c1<<1 | p1>>63
+			r0 := c0>>1 | n0<<63
+			r1 := c1>>1 | n1<<63
+			// t = left + centre + right, bit-sliced: first a 2-bit + 2-bit
+			// add into (x2 x1 x0), then + 2-bit into (t3 t2 t1 t0) <= 9.
+			x0 := l0 ^ c0
+			g0 := l0 & c0
+			xa := l1 ^ c1
+			x1 := xa ^ g0
+			x2 := (l1 & c1) | (g0 & xa)
+			t0 := x0 ^ r0
+			h0 := x0 & r0
+			tb := x1 ^ r1
+			t1 := tb ^ h0
+			h1 := (x1 & r1) | (h0 & tb)
+			t2 := x2 ^ h1
+			t3 := x2 & h1
+			// Median: patch count > 4, i.e. t >= 5 = t3 | t2&(t1|t0).
+			// Row padding cannot fire: a padding column's own count is 0
+			// and at most one real neighbour contributes <= 3.
+			out[k] = t3 | t2&(t1|t0)
+			p0, p1, c0, c1 = c0, c1, n0, n1
+		}
+	}
+}
+
+// word3 loads word k of the three window rows, treating a nil row as
+// all-zero.
+func word3(ra, rb, rc []uint64, k int) (a, b, c uint64) {
+	if ra != nil {
+		a = ra[k]
+	}
+	if rb != nil {
+		b = rb[k]
+	}
+	if rc != nil {
+		c = rc[k]
+	}
+	return a, b, c
+}
+
+// rowSpanWords is rowSpan restricted to words [ka, kb] (inclusive): it
+// returns the first and last set bit positions found in that word range.
+// The caller guarantees 0 <= ka <= kb < len(row).
+func rowSpanWords(row []uint64, ka, kb int) (first, last int, ok bool) {
+	i := ka
+	for i <= kb && row[i] == 0 {
+		i++
+	}
+	if i > kb {
+		return 0, 0, false
+	}
+	first = i<<6 + bits.TrailingZeros64(row[i])
+	j := kb
 	for row[j] == 0 {
 		j--
 	}
@@ -162,6 +390,16 @@ func PackedDownsample(src *PackedBitmap, s1, s2 int) (*CountImage, error) {
 // byte loads. dst is resized (reusing its backing array when large enough)
 // and returned; pass nil to allocate.
 func PackedDownsampleInto(dst *CountImage, src *PackedBitmap, s1, s2 int) (*CountImage, error) {
+	return PackedDownsampleIntoRange(dst, src, s1, s2, nil)
+}
+
+// PackedDownsampleIntoRange is PackedDownsampleInto bounded by an active
+// region: only block rows intersecting the region's row span accumulate,
+// and within a source row only the blocks covered by its dirty words are
+// popcounted; everything else is zeroed. ar must be a superset of src's
+// set pixels; nil processes the full frame. Output is bit-identical to the
+// full-frame kernel.
+func PackedDownsampleIntoRange(dst *CountImage, src *PackedBitmap, s1, s2 int, ar *ActiveRegion) (*CountImage, error) {
 	if s1 <= 0 || s2 <= 0 {
 		return nil, fmt.Errorf("imgproc: scale factors must be positive, got s1=%d s2=%d", s1, s2)
 	}
@@ -178,29 +416,69 @@ func PackedDownsampleInto(dst *CountImage, src *PackedBitmap, s1, s2 int) (*Coun
 			out.Pix = out.Pix[:w*h]
 		}
 	}
+	clear(out.Pix)
+	ry0, ry1 := 0, src.H
+	if ar != nil {
+		ry0, ry1 = ar.RowSpan()
+		if ry0 >= ry1 {
+			return out, nil
+		}
+	}
 	blockMask := blockPopMask(s1)
-	for j := 0; j < h; j++ {
+	for j := ry0 / s2; j < h && j*s2 < ry1; j++ {
 		outRow := out.Pix[j*w : (j+1)*w]
-		clear(outRow)
 		for n := 0; n < s2; n++ {
-			row := src.Row(j*s2 + n)
-			if rowEmpty(row) {
+			yy := j*s2 + n
+			if yy < ry0 || yy >= ry1 {
+				continue
+			}
+			row := src.Row(yy)
+			i0, i1 := 0, w
+			if ar != nil && !ar.wide {
+				mask := ar.RowMask(yy)
+				// The region is a superset: a marked row may still be
+				// all-zero (e.g. the median filtered its pixels away), so
+				// the emptiness check stays, bounded to the dirty words.
+				if mask == 0 || rowEmptyMasked(row, mask) {
+					continue
+				}
+				i0, i1 = blockBounds(mask, src.Stride, s1, w)
+			} else if rowEmpty(row) {
 				continue
 			}
 			if blockMask != 0 {
-				off := 0
-				for i := range outRow {
+				off := i0 * s1
+				for i := i0; i < i1; i++ {
 					outRow[i] += uint16(bits.OnesCount64(fetchBits(row, off) & blockMask))
 					off += s1
 				}
 			} else {
-				for i := range outRow {
+				for i := i0; i < i1; i++ {
 					outRow[i] += uint16(popcountRange(row, i*s1, i*s1+s1))
 				}
 			}
 		}
 	}
 	return out, nil
+}
+
+// blockBounds converts a dirty-word mask into the [i0, i1) range of s1-wide
+// blocks that can overlap a dirty word, clamped to the downsampled width w.
+func blockBounds(mask uint64, stride, s1, w int) (i0, i1 int) {
+	ka := bits.TrailingZeros64(mask)
+	kb := 63 - bits.LeadingZeros64(mask)
+	if kb >= stride {
+		kb = stride - 1
+	}
+	i0 = (ka << 6) / s1
+	i1 = (kb<<6+63)/s1 + 1
+	if i1 > w {
+		i1 = w
+	}
+	if i0 > i1 {
+		i0 = i1
+	}
+	return i0, i1
 }
 
 // blockPopMask returns the s1-bit block mask for the fast block-popcount
@@ -236,6 +514,16 @@ func PackedHistograms(src *PackedBitmap, s1, s2 int) (hx, hy []int, err error) {
 // The results are bit-identical to DownsampleInto + HistogramsInto on the
 // unpacked image. Scratch slices are reused when large enough.
 func PackedHistogramsInto(hxBuf, hyBuf []int, src *PackedBitmap, s1, s2 int) (hx, hy []int, err error) {
+	return PackedHistogramsIntoRange(hxBuf, hyBuf, src, s1, s2, nil)
+}
+
+// PackedHistogramsIntoRange is PackedHistogramsInto bounded by an active
+// region: block rows outside the region's row span keep their zero Y bins
+// without touching the frame, and within a dirty source row only the
+// blocks its dirty words can cover are popcounted. ar must be a superset
+// of src's set pixels; nil processes the full frame. Results are
+// bit-identical to the full-frame kernel at every sparsity level.
+func PackedHistogramsIntoRange(hxBuf, hyBuf []int, src *PackedBitmap, s1, s2 int, ar *ActiveRegion) (hx, hy []int, err error) {
 	if s1 <= 0 || s2 <= 0 {
 		return nil, nil, fmt.Errorf("imgproc: scale factors must be positive, got s1=%d s2=%d", s1, s2)
 	}
@@ -243,33 +531,69 @@ func PackedHistogramsInto(hxBuf, hyBuf []int, src *PackedBitmap, s1, s2 int) (hx
 	h := src.H / s2
 	hx = resizeInts(hxBuf, w)
 	hy = resizeInts(hyBuf, h)
+	ry0, ry1 := 0, src.H
+	if ar != nil {
+		ry0, ry1 = ar.RowSpan()
+		if ry0 >= ry1 {
+			return hx, hy, nil
+		}
+	}
 	blockMask := blockPopMask(s1)
-	for j := 0; j < h; j++ {
+	for j := ry0 / s2; j < h && j*s2 < ry1; j++ {
 		total := 0
 		for n := 0; n < s2; n++ {
-			row := src.Row(j*s2 + n)
-			if rowEmpty(row) {
+			yy := j*s2 + n
+			if yy < ry0 || yy >= ry1 {
+				continue
+			}
+			row := src.Row(yy)
+			i0, i1 := 0, w
+			if ar != nil && !ar.wide {
+				mask := ar.RowMask(yy)
+				// Superset region: a marked row may still be all-zero, so
+				// the emptiness check stays, bounded to the dirty words.
+				if mask == 0 || rowEmptyMasked(row, mask) {
+					continue
+				}
+				i0, i1 = blockBounds(mask, src.Stride, s1, w)
+			} else if rowEmpty(row) {
 				continue
 			}
 			if blockMask != 0 {
-				off := 0
-				for i := range hx {
+				off := i0 * s1
+				for i := i0; i < i1; i++ {
 					c := bits.OnesCount64(fetchBits(row, off) & blockMask)
 					hx[i] += c
 					total += c
 					off += s1
 				}
 			} else {
-				for i := range hx {
+				for i := i0; i < i1; i++ {
 					c := popcountRange(row, i*s1, i*s1+s1)
 					hx[i] += c
 					total += c
 				}
 			}
 		}
-		hy[j] = total
+		hy[j] += total
 	}
 	return hx, hy, nil
+}
+
+// rowEmptyMasked reports whether a packed row has no set bits within the
+// dirty-word span of mask (words outside it are zero by the region
+// invariant).
+func rowEmptyMasked(row []uint64, mask uint64) bool {
+	ka := bits.TrailingZeros64(mask)
+	kb := 63 - bits.LeadingZeros64(mask)
+	if kb >= len(row) {
+		kb = len(row) - 1
+	}
+	var or uint64
+	for k := ka; k <= kb; k++ {
+		or |= row[k]
+	}
+	return or == 0
 }
 
 // rowEmpty reports whether a packed row has no set bits.
@@ -288,6 +612,44 @@ type packedRun struct {
 	label         int32
 }
 
+// rowRunMask returns the dirty-word mask CCA should iterate for row y, or
+// ^0 to request a plain full-row sweep — chosen when there is no per-word
+// information (nil or degraded region) or when the mask is already fully
+// dense, where iterating mask bits costs more than ranging over the row.
+func rowRunMask(ar *ActiveRegion, y int) uint64 {
+	if ar == nil || ar.wide {
+		return ^uint64(0)
+	}
+	m := ar.RowMask(y)
+	if m == ar.wordMask {
+		return ^uint64(0)
+	}
+	return m
+}
+
+// extractRuns appends the maximal set-bit runs of word k (row y) to *runs,
+// merging a run that continues across the word boundary into the previous
+// run of the same row (rowStart is where this row's runs begin).
+func extractRuns(runs *[]packedRun, rowStart int, y int32, k int, w uint64) {
+	base := int32(k << 6)
+	x := int32(0)
+	for w != 0 {
+		tz := int32(bits.TrailingZeros64(w))
+		w >>= uint(tz)
+		x += tz
+		n := int32(bits.TrailingZeros64(^w)) // run length; 64 when w is all ones
+		s, e := base+x, base+x+n
+		rs := *runs
+		if len(rs) > rowStart && rs[len(rs)-1].end == s {
+			rs[len(rs)-1].end = e // run continues across the word boundary
+		} else {
+			*runs = append(rs, packedRun{y: y, start: s, end: e, label: -1})
+		}
+		w >>= uint(n) // shift >= 64 is defined as 0 in Go
+		x += n
+	}
+}
+
 // PackedConnectedComponents labels the 8-connected regions of a packed
 // bitmap and returns the same Components (largest first) as
 // ConnectedComponents on the unpacked image. Instead of visiting pixels it
@@ -295,8 +657,25 @@ type packedRun struct {
 // one step) and unions runs of adjacent rows that touch under
 // 8-connectivity, so the work scales with the number of runs, not W x H.
 func PackedConnectedComponents(p *PackedBitmap) []Component {
+	return PackedConnectedComponentsRegion(p, nil)
+}
+
+// PackedConnectedComponentsRegion is PackedConnectedComponents seeded only
+// from the active region's dirty words: rows outside the region's span are
+// never visited and, within a dirty row, run extraction iterates the dirty
+// words directly instead of sweeping the whole row. ar must be a superset
+// of p's set pixels; nil scans the full frame. Output is identical to the
+// full-frame labelling.
+func PackedConnectedComponentsRegion(p *PackedBitmap, ar *ActiveRegion) []Component {
 	if p.W == 0 || p.H == 0 {
 		return nil
+	}
+	ry0, ry1 := 0, p.H
+	if ar != nil {
+		ry0, ry1 = ar.RowSpan()
+		if ry0 >= ry1 {
+			return nil
+		}
 	}
 	var runs []packedRun
 	parent := make([]int32, 0, 64)
@@ -321,25 +700,22 @@ func PackedConnectedComponents(p *PackedBitmap) []Component {
 	}
 
 	prevStart, prevEnd := 0, 0 // index range of the previous row's runs
-	for y := 0; y < p.H; y++ {
+	for y := ry0; y < ry1; y++ {
 		rowStart := len(runs)
 		row := p.Row(y)
-		for k, w := range row {
-			base := int32(k << 6)
-			x := int32(0)
-			for w != 0 {
-				tz := int32(bits.TrailingZeros64(w))
-				w >>= uint(tz)
-				x += tz
-				n := int32(bits.TrailingZeros64(^w)) // run length; 64 when w is all ones
-				s, e := base+x, base+x+n
-				if len(runs) > rowStart && runs[len(runs)-1].end == s {
-					runs[len(runs)-1].end = e // run continues across the word boundary
-				} else {
-					runs = append(runs, packedRun{y: int32(y), start: s, end: e, label: -1})
+		if m := rowRunMask(ar, y); m != ^uint64(0) {
+			// Visit only the dirty words; clean words are zero by the
+			// region invariant, so no run can bridge a skipped word.
+			for ; m != 0; m &= m - 1 {
+				k := bits.TrailingZeros64(m)
+				if k >= len(row) {
+					break
 				}
-				w >>= uint(n) // shift >= 64 is defined as 0 in Go
-				x += n
+				extractRuns(&runs, rowStart, int32(y), k, row[k])
+			}
+		} else {
+			for k, w := range row {
+				extractRuns(&runs, rowStart, int32(y), k, w)
 			}
 		}
 		// Match this row's runs against the previous row's with two

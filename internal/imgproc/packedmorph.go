@@ -17,7 +17,7 @@ package imgproc
 // large enough) and returned; pass nil to allocate. Output is bit-identical
 // to Dilate on the unpacked image. dst must not alias src.
 func PackedDilate(dst, src *PackedBitmap, r int) *PackedBitmap {
-	return packedMorph(dst, src, r, true)
+	return packedMorph(dst, src, r, true, nil)
 }
 
 // PackedErode writes the erosion of src by a square structuring element of
@@ -26,26 +26,54 @@ func PackedDilate(dst, src *PackedBitmap, r int) *PackedBitmap {
 // counting as unset. Output is bit-identical to Erode on the unpacked
 // image. dst must not alias src.
 func PackedErode(dst, src *PackedBitmap, r int) *PackedBitmap {
-	return packedMorph(dst, src, r, false)
+	return packedMorph(dst, src, r, false, nil)
 }
 
-func packedMorph(dst, src *PackedBitmap, r int, dilate bool) *PackedBitmap {
+// PackedDilateRegion is PackedDilate bounded by an active region: only the
+// region's row span (plus the r halo on the output side) is processed and
+// the rest of dst stays bulk-cleared. ar must be a superset of src's set
+// pixels; nil processes the full frame. Output is bit-identical to
+// PackedDilate.
+func PackedDilateRegion(dst, src *PackedBitmap, r int, ar *ActiveRegion) *PackedBitmap {
+	return packedMorph(dst, src, r, true, ar)
+}
+
+// PackedErodeRegion is PackedErode bounded by an active region (erosion
+// output can only lie within the region itself, so no halo is needed).
+// Same contract as PackedDilateRegion.
+func PackedErodeRegion(dst, src *PackedBitmap, r int, ar *ActiveRegion) *PackedBitmap {
+	return packedMorph(dst, src, r, false, ar)
+}
+
+func packedMorph(dst, src *PackedBitmap, r int, dilate bool, ar *ActiveRegion) *PackedBitmap {
 	if dst == nil {
 		dst = NewPackedBitmap(src.W, src.H)
 	} else {
-		dst.Resize(src.W, src.H)
+		dst.Resize(src.W, src.H) // also bulk-clears every row
 	}
 	if src.W == 0 || src.H == 0 {
 		return dst
 	}
+	// ry bounds the dirty source rows; everything outside stays zero in
+	// the cleared dst (for erosion even the halo stays zero: an eroded
+	// pixel needs its own centre set, so output rows ⊆ dirty rows).
+	ry0, ry1 := 0, src.H
+	if ar != nil {
+		ry0, ry1 = ar.RowSpan()
+		if ry0 >= ry1 {
+			return dst
+		}
+	}
 	if r <= 0 {
-		copy(dst.Words, src.Words)
+		copy(dst.Words[ry0*dst.Stride:ry1*dst.Stride], src.Words[ry0*src.Stride:ry1*src.Stride])
 		return dst
 	}
-	// Horizontal pass into pooled scratch.
+	// Horizontal pass into pooled scratch, dirty rows only: a clean row is
+	// all-zero and its horizontal dilation/erosion is all-zero too, which
+	// is exactly what the cleared scratch already holds.
 	tmp := GetPacked(src.W, src.H)
 	defer PutPacked(tmp)
-	for y := 0; y < src.H; y++ {
+	for y := ry0; y < ry1; y++ {
 		row := src.Row(y)
 		acc := tmp.Row(y)
 		copy(acc, row)
@@ -61,8 +89,19 @@ func packedMorph(dst, src *PackedBitmap, r int, dilate bool) *PackedBitmap {
 	}
 	// Vertical pass: combine each row of tmp with its r neighbours above
 	// and below; rows outside the image are all-zero (for erosion that
-	// clears the border rows, as it must).
-	for y := 0; y < src.H; y++ {
+	// clears the border rows, as it must). Dilation output reaches r rows
+	// past the dirty span; erosion output cannot leave it.
+	oy0, oy1 := ry0, ry1
+	if dilate {
+		oy0, oy1 = ry0-r, ry1+r
+		if oy0 < 0 {
+			oy0 = 0
+		}
+		if oy1 > src.H {
+			oy1 = src.H
+		}
+	}
+	for y := oy0; y < oy1; y++ {
 		out := dst.Row(y)
 		copy(out, tmp.Row(y))
 		for k := 1; k <= r; k++ {

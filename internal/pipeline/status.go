@@ -113,6 +113,12 @@ type StageSnapshot struct {
 	FilterUS int64 `json:"filter_us"`
 	RPNUS    int64 `json:"rpn_us"`
 	TrackUS  int64 `json:"track_us"`
+	// ActivePixelFraction is the mean fraction of the packed frame the
+	// active region marked dirty — the sparsity the activity-bounded
+	// kernels skipped past (1 on the byte reference path). Distinct from
+	// the stream-level ActiveFraction, which is the duty cycle's
+	// processing-time share.
+	ActivePixelFraction float64 `json:"active_pixel_fraction"`
 }
 
 // Sensor returns the stream's index in the run's stream list.
@@ -205,11 +211,12 @@ func (s *StreamStatus) Snapshot(elapsed time.Duration) StreamSnapshot {
 	s.mu.Lock()
 	if s.hasST {
 		snap.Stages = &StageSnapshot{
-			Windows:  s.stages.Windows,
-			EBBIUS:   s.stages.EBBI.Microseconds(),
-			FilterUS: s.stages.Filter.Microseconds(),
-			RPNUS:    s.stages.RPN.Microseconds(),
-			TrackUS:  s.stages.Track.Microseconds(),
+			Windows:             s.stages.Windows,
+			EBBIUS:              s.stages.EBBI.Microseconds(),
+			FilterUS:            s.stages.Filter.Microseconds(),
+			RPNUS:               s.stages.RPN.Microseconds(),
+			TrackUS:             s.stages.Track.Microseconds(),
+			ActivePixelFraction: s.stages.MeanActiveFraction(),
 		}
 	}
 	snap.Error = s.errMsg

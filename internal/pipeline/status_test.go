@@ -157,6 +157,47 @@ func TestRunnerLiveStatusMatchesStats(t *testing.T) {
 	}
 }
 
+// TestStreamStatusReportsActivePixelFraction runs a real EBBIOT stream
+// (localized synthetic events, no noise) through the Runner and asserts
+// the packed frame chain's sparsity stat surfaces in the stream snapshot
+// the control plane serves.
+func TestStreamStatusReportsActivePixelFraction(t *testing.T) {
+	var evs []events.Event
+	for f := 0; f < 8; f++ {
+		base := int64(f) * 66_000
+		n := int64(0)
+		for y := 40; y < 60; y++ {
+			for x := 80; x < 110; x += 2 {
+				evs = append(evs, events.Event{X: int16(x), Y: int16(y), T: base + n})
+				n++
+			}
+		}
+	}
+	src, err := NewSliceSource(evs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := core.NewEBBIOT(core.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys.Close()
+	r, err := NewRunner(Config{FrameUS: 66_000, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Run(context.Background(), []Stream{{Source: src, System: sys}}, nil); err != nil {
+		t.Fatal(err)
+	}
+	ss := r.Status().Snapshot().PerStream[0]
+	if ss.Stages == nil {
+		t.Fatal("no stage snapshot for a StageTimer system")
+	}
+	if f := ss.Stages.ActivePixelFraction; f <= 0 || f >= 0.5 {
+		t.Fatalf("active pixel fraction = %.3f, want sparse (0, 0.5)", f)
+	}
+}
+
 // tfTuner halves tF once at a fixed window boundary, recording what it saw.
 type tfTuner struct {
 	at      int64

@@ -148,8 +148,28 @@ func (m *Mask) MaskBitmap(b *imgproc.Bitmap) {
 // MaskPacked is MaskBitmap for the packed fast path: each zone row is
 // blanked with word-masked stores instead of per-pixel writes.
 func (m *Mask) MaskPacked(p *imgproc.PackedBitmap) {
+	m.MaskPackedRegion(p, nil)
+}
+
+// MaskPackedRegion is MaskPacked bounded by the frame's active region:
+// zone rows outside the region's dirty row span are already all-zero and
+// are skipped instead of rewritten. Clearing pixels never invalidates the
+// region (it is a superset contract), so ar stays correct afterwards. A
+// nil region blanks every zone row.
+func (m *Mask) MaskPackedRegion(p *imgproc.PackedBitmap, ar *imgproc.ActiveRegion) {
+	y0, y1 := 0, p.H
+	if ar != nil {
+		y0, y1 = ar.RowSpan()
+		if y0 >= y1 {
+			return
+		}
+	}
 	for _, z := range m.zones {
-		p.ClearRange(z.X, z.Y, z.MaxX(), z.MaxY())
+		zy0, zy1 := max(z.Y, y0), min(z.MaxY(), y1)
+		if zy0 >= zy1 {
+			continue
+		}
+		p.ClearRange(z.X, zy0, z.MaxX(), zy1)
 	}
 }
 

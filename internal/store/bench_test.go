@@ -157,12 +157,16 @@ func BenchmarkScanWindow(b *testing.B) {
 }
 
 // BenchmarkReplay measures the k-way merged replay of all four sensors.
+// The merge is single-pass — each shared segment is read exactly once, not
+// once per sensor — which the read-amplification counters assert.
 func BenchmarkReplay(b *testing.B) {
 	dir := benchStoreDir(b)
 	r, err := OpenReader(dir)
 	if err != nil {
 		b.Fatal(err)
 	}
+	segments := int64(r.Stats().Segments)
+	dataBytes := r.Stats().DataBytes - segments*segHeaderLen
 	b.SetBytes(benchRecordBytes() * benchSensors * benchFrames)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -171,6 +175,68 @@ func BenchmarkReplay(b *testing.B) {
 			b.Fatal(err)
 		}
 		drain(b, it, benchSensors*benchFrames)
+		st := it.(*sharedMergeIterator).Stats()
+		if st.SegmentsOpened != segments {
+			b.Fatalf("read amplification: %d segment opens for %d segments (want 1x)", st.SegmentsOpened, segments)
+		}
+		if st.BytesRead != dataBytes {
+			b.Fatalf("read amplification: %d bytes read of %d stored (want 1x)", st.BytesRead, dataBytes)
+		}
+	}
+	b.ReportMetric(float64(1), "segment-reads/segment")
+}
+
+// BenchmarkReplayMultiCursor is the pre-single-pass design kept as the
+// comparison baseline: one sequential Scan cursor per sensor merged by
+// (EndUS, Sensor, Frame), paying k passes over the shared segments.
+func BenchmarkReplayMultiCursor(b *testing.B) {
+	dir := benchStoreDir(b)
+	r, err := OpenReader(dir)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(benchRecordBytes() * benchSensors * benchFrames)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cursors := make([]*Cursor, benchSensors)
+		heads := make([]Snapshot, benchSensors)
+		live := make([]bool, benchSensors)
+		for s := 0; s < benchSensors; s++ {
+			cursors[s] = r.Scan(s, 0, math.MaxInt64)
+			snap, err := cursors[s].Next()
+			if err != nil {
+				b.Fatal(err)
+			}
+			heads[s], live[s] = snap, true
+		}
+		var n int64
+		for {
+			best := -1
+			for s := range live {
+				if live[s] && (best < 0 || snapLess(&heads[s], &heads[best])) {
+					best = s
+				}
+			}
+			if best < 0 {
+				break
+			}
+			n++
+			snap, err := cursors[best].Next()
+			if err == io.EOF {
+				live[best] = false
+				continue
+			}
+			if err != nil {
+				b.Fatal(err)
+			}
+			heads[best] = snap
+		}
+		for _, c := range cursors {
+			c.Close()
+		}
+		if n != benchSensors*benchFrames {
+			b.Fatalf("merged %d records, want %d", n, benchSensors*benchFrames)
+		}
 	}
 }
 

@@ -102,13 +102,33 @@ func peekMeta(p []byte) (sensor int, startUS, endUS int64, err error) {
 	return int(le.Uint32(p[0:])), int64(le.Uint64(p[8:])), int64(le.Uint64(p[16:])), nil
 }
 
+// snapDecoder is decodeSnapshot with amortized allocations for bulk
+// decode paths (the single-pass replay merge decodes every matching
+// record in the store): sensor names are interned — a recorded stream
+// repeats the same label on every window — and box slices are carved from
+// chunked arenas instead of allocated per record. Decoded snapshots stay
+// safe to retain indefinitely (interned strings and arena chunks are
+// never reused), matching the Iterator contract. Zero value is ready.
+type snapDecoder struct {
+	names map[string]string
+	arena []geometry.Box
+}
+
 // decodeSnapshot parses a record payload. Every length is bounds-checked
 // so arbitrary bytes yield ErrCorrupt, never a panic.
 func decodeSnapshot(p []byte) (Snapshot, error) {
 	var s Snapshot
+	err := decodeSnapshotInto(&s, p, nil)
+	return s, err
+}
+
+// decodeSnapshotInto parses a record payload into *dst (which must be
+// zeroed), drawing name and box storage from d when non-nil.
+func decodeSnapshotInto(dst *Snapshot, p []byte, d *snapDecoder) error {
+	s := dst
 	const fixed = 4 + 4 + 8 + 8 + 4 + 8 + 2
 	if len(p) < fixed {
-		return s, fmt.Errorf("%w: payload too short (%d bytes)", ErrCorrupt, len(p))
+		return fmt.Errorf("%w: payload too short (%d bytes)", ErrCorrupt, len(p))
 	}
 	s.Sensor = int(le.Uint32(p[0:]))
 	s.Frame = int(le.Uint32(p[4:]))
@@ -119,17 +139,39 @@ func decodeSnapshot(p []byte) (Snapshot, error) {
 	nameLen := int(le.Uint16(p[36:]))
 	p = p[fixed:]
 	if len(p) < nameLen+4 {
-		return s, fmt.Errorf("%w: truncated name", ErrCorrupt)
+		return fmt.Errorf("%w: truncated name", ErrCorrupt)
 	}
-	s.Name = string(p[:nameLen])
+	if d != nil {
+		if cached, ok := d.names[string(p[:nameLen])]; ok {
+			s.Name = cached
+		} else {
+			if d.names == nil {
+				d.names = make(map[string]string, 8)
+			}
+			n := string(p[:nameLen])
+			d.names[n] = n
+			s.Name = n
+		}
+	} else {
+		s.Name = string(p[:nameLen])
+	}
 	p = p[nameLen:]
 	nBoxes := int(le.Uint32(p))
 	p = p[4:]
 	if nBoxes < 0 || len(p) != nBoxes*16 {
-		return s, fmt.Errorf("%w: box list length mismatch", ErrCorrupt)
+		return fmt.Errorf("%w: box list length mismatch", ErrCorrupt)
 	}
 	if nBoxes > 0 {
-		s.Boxes = make([]geometry.Box, nBoxes)
+		if d != nil {
+			if len(d.arena)+nBoxes > cap(d.arena) {
+				d.arena = make([]geometry.Box, 0, max(4096, nBoxes))
+			}
+			start := len(d.arena)
+			d.arena = d.arena[:start+nBoxes]
+			s.Boxes = d.arena[start : start+nBoxes : start+nBoxes]
+		} else {
+			s.Boxes = make([]geometry.Box, nBoxes)
+		}
 		for i := range s.Boxes {
 			s.Boxes[i] = geometry.Box{
 				X: int(int32(le.Uint32(p[i*16:]))),
@@ -139,7 +181,7 @@ func decodeSnapshot(p []byte) (Snapshot, error) {
 			}
 		}
 	}
-	return s, nil
+	return nil
 }
 
 // payloadCRC is the checksum stored in each record frame.

@@ -109,23 +109,19 @@ func (r *Reader) Sensors() []int {
 // frame order for a stream recorded through the pipeline Runner. Use
 // t0 = 0, t1 = math.MaxInt64 for an unbounded scan.
 func (r *Reader) Scan(sensor int, t0, t1 int64) *Cursor {
-	return &Cursor{r: r, sensor: sensor, t0: t0, t1: t1}
+	c := &Cursor{sensor: sensor, t0: t0, t1: t1}
+	c.stream = segStream{r: r, t0: t0, match: c.segMayMatch}
+	return c
 }
 
 // Cursor streams one sensor's matching snapshots (see Reader.Scan). The
 // sparse index lets it skip whole segments the sensor or time range never
 // touches and seek past cold prefixes inside each segment.
 type Cursor struct {
-	r      *Reader
 	sensor int
 	t0, t1 int64
-
-	segIdx    int // next segment to open
-	f         *os.File
-	br        *bufio.Reader
-	remaining int64 // valid data bytes left in the open segment
-	payload   []byte
-	done      bool
+	stream segStream
+	done   bool
 }
 
 // segMayMatch reports whether a segment can hold a matching record. Only
@@ -156,42 +152,83 @@ func (c *Cursor) Next() (Snapshot, error) {
 		return Snapshot{}, io.EOF
 	}
 	for {
-		if c.f == nil {
-			ok, err := c.openNextSegment()
-			if err != nil {
-				c.done = true
-				return Snapshot{}, err
-			}
-			if !ok {
-				c.done = true
-				return Snapshot{}, io.EOF
-			}
+		payload, err := c.stream.next()
+		if err != nil {
+			c.done = true
+			c.stream.close()
+			return Snapshot{}, err
 		}
-		payload, err := c.readRecord()
-		if err == nil {
-			// Filter on the cheap peeked fields; only matching records pay
-			// for the full decode (name and box allocations).
-			var sensor int
-			var startUS, endUS int64
-			sensor, startUS, endUS, err = peekMeta(payload)
-			if err == nil {
-				if (c.sensor >= 0 && sensor != c.sensor) || startUS >= c.t1 || endUS <= c.t0 {
-					continue
-				}
-				var snap Snapshot
-				snap, err = decodeSnapshot(payload)
-				if err == nil {
-					return snap, nil
-				}
-			}
+		// Filter on the cheap peeked fields; only matching records pay
+		// for the full decode (name and box allocations).
+		sensor, startUS, endUS, err := peekMeta(payload)
+		if err != nil {
+			c.done = true
+			c.stream.close()
+			return Snapshot{}, err
 		}
-		if err == io.EOF {
-			c.closeSegment()
+		if (c.sensor >= 0 && sensor != c.sensor) || startUS >= c.t1 || endUS <= c.t0 {
 			continue
 		}
-		c.done = true
-		c.closeSegment()
-		return Snapshot{}, err
+		snap, err := decodeSnapshot(payload)
+		if err != nil {
+			c.done = true
+			c.stream.close()
+			return Snapshot{}, err
+		}
+		return snap, nil
+	}
+}
+
+// Close releases the cursor's file handle. Safe to call repeatedly.
+func (c *Cursor) Close() error {
+	c.done = true
+	c.stream.close()
+	return nil
+}
+
+// errSegmentEnd marks the end of one segment's valid region inside
+// segStream; next consumes it and moves to the following segment.
+var errSegmentEnd = errors.New("store: segment end")
+
+// segStream sequentially streams checksum-verified record payloads from a
+// Reader's segment chain: segments rejected by match are skipped, cold
+// prefixes are seeked past via the sparse index, and each surviving byte
+// is read exactly once. It is the shared low-level reader under both the
+// per-sensor Cursor and the replay merge; the counters feed ReplayStats.
+type segStream struct {
+	r     *Reader
+	t0    int64
+	match func(readerSeg) bool
+
+	segIdx    int // next segment to open
+	f         *os.File
+	br        *bufio.Reader
+	remaining int64 // valid data bytes left in the open segment
+	payload   []byte
+	opened    int64
+	bytesRead int64
+}
+
+// next returns the next record payload in chain order, or io.EOF when the
+// chain is exhausted. The slice is the stream's scratch buffer, valid
+// until the following call.
+func (s *segStream) next() ([]byte, error) {
+	for {
+		if s.f == nil {
+			ok, err := s.openNextSegment()
+			if err != nil {
+				return nil, err
+			}
+			if !ok {
+				return nil, io.EOF
+			}
+		}
+		payload, err := s.readRecord()
+		if err == errSegmentEnd {
+			s.close()
+			continue
+		}
+		return payload, err
 	}
 }
 
@@ -201,173 +238,362 @@ func (c *Cursor) Next() (Snapshot, error) {
 // view is best-effort under concurrent retention); any other I/O failure
 // — permissions, disk errors — is surfaced rather than silently dropping
 // a whole segment from the results.
-func (c *Cursor) openNextSegment() (bool, error) {
-	for c.segIdx < len(c.r.segs) {
-		s := c.r.segs[c.segIdx]
-		c.segIdx++
-		if !c.segMayMatch(s) {
+func (s *segStream) openNextSegment() (bool, error) {
+	for s.segIdx < len(s.r.segs) {
+		seg := s.r.segs[s.segIdx]
+		s.segIdx++
+		if !s.match(seg) {
 			continue
 		}
-		f, err := os.Open(s.path)
+		f, err := os.Open(seg.path)
 		if err != nil {
 			if errors.Is(err, fs.ErrNotExist) {
 				continue
 			}
 			return false, fmt.Errorf("store: %w", err)
 		}
-		off := s.meta.seekOffset(c.t0)
+		off := seg.meta.seekOffset(s.t0)
 		if _, err := f.Seek(off, 0); err != nil {
 			f.Close()
-			return false, fmt.Errorf("store: seek %s: %w", s.path, err)
+			return false, fmt.Errorf("store: seek %s: %w", seg.path, err)
 		}
-		c.f = f
-		c.br = bufio.NewReaderSize(f, 1<<16)
-		c.remaining = s.meta.DataBytes - off
+		s.f = f
+		s.br = bufio.NewReaderSize(f, 1<<16)
+		s.remaining = seg.meta.DataBytes - off
+		s.opened++
 		return true, nil
 	}
 	return false, nil
 }
 
 // readRecord reads one framed record's checksum-verified payload from the
-// open segment, returning io.EOF at the end of its valid region. The
-// returned slice is the cursor's scratch buffer, valid until the next
-// call.
-func (c *Cursor) readRecord() ([]byte, error) {
-	if c.remaining < frameLen {
-		return nil, io.EOF
+// open segment, returning errSegmentEnd at the end of its valid region.
+func (s *segStream) readRecord() ([]byte, error) {
+	if s.remaining < frameLen {
+		return nil, errSegmentEnd
 	}
 	var frame [frameLen]byte
-	if _, err := io.ReadFull(c.br, frame[:]); err != nil {
+	if _, err := io.ReadFull(s.br, frame[:]); err != nil {
 		return nil, fmt.Errorf("store: read: %w", err)
 	}
 	n := int64(le.Uint32(frame[0:4]))
 	sum := le.Uint32(frame[4:8])
-	if n > maxRecordBytes || frameLen+n > c.remaining {
+	if n > maxRecordBytes || frameLen+n > s.remaining {
 		return nil, fmt.Errorf("%w: frame length %d exceeds segment bounds", ErrCorrupt, n)
 	}
-	if int64(cap(c.payload)) < n {
-		c.payload = make([]byte, n)
+	if int64(cap(s.payload)) < n {
+		s.payload = make([]byte, n)
 	}
-	c.payload = c.payload[:n]
-	if _, err := io.ReadFull(c.br, c.payload); err != nil {
+	s.payload = s.payload[:n]
+	if _, err := io.ReadFull(s.br, s.payload); err != nil {
 		return nil, fmt.Errorf("store: read: %w", err)
 	}
-	c.remaining -= frameLen + n
-	if payloadCRC(c.payload) != sum {
+	s.remaining -= frameLen + n
+	s.bytesRead += frameLen + n
+	if payloadCRC(s.payload) != sum {
 		return nil, fmt.Errorf("%w: checksum mismatch", ErrCorrupt)
 	}
-	return c.payload, nil
+	return s.payload, nil
 }
 
-func (c *Cursor) closeSegment() {
-	if c.f != nil {
-		c.f.Close()
-		c.f, c.br = nil, nil
+func (s *segStream) close() {
+	if s.f != nil {
+		s.f.Close()
+		s.f, s.br = nil, nil
 	}
-}
-
-// Close releases the cursor's file handle. Safe to call repeatedly.
-func (c *Cursor) Close() error {
-	c.done = true
-	c.closeSegment()
-	return nil
 }
 
 // Replay returns an iterator merging the given sensors' snapshots in
 // (EndUS, Sensor, Frame) order across all segments — the canonical replay
 // order: globally non-decreasing in time, per-sensor in frame order, and
 // deterministic for any on-disk interleaving. A nil or empty sensor list
-// replays every sensor in the store. Each sensor contributes one
-// sequential cursor, so a k-sensor replay holds k file handles.
+// replays every sensor in the store.
+//
+// The merge is single-pass: every shared segment is opened and read
+// exactly once, with records demultiplexed into per-sensor queues as they
+// stream by — a k-sensor replay used to run k sequential cursors over the
+// same segments (k x read amplification); now it holds one file handle
+// and reads each byte once (ReplayStats exposes the counters). The queues
+// buffer only the on-disk interleaving skew between sensors, which the
+// recording Runner bounds by its fan-in queue depth; replaying a store
+// whose sensors were written in long disjoint stretches trades that
+// memory for the eliminated re-reads.
 func (r *Reader) Replay(sensors []int, t0, t1 int64) (Iterator, error) {
 	if len(sensors) == 0 {
 		sensors = r.Sensors()
 	}
-	seen := make(map[int]struct{}, len(sensors))
-	m := &mergeIterator{}
+	m := &sharedMergeIterator{r: r, t0: t0, t1: t1, want: make(map[int]int, len(sensors)), pendingSeg: -1}
+	m.stream = segStream{r: r, t0: t0, match: m.segMayMatch}
 	for _, id := range sensors {
 		if id < 0 {
-			m.Close()
 			return nil, fmt.Errorf("store: negative sensor id %d", id)
 		}
-		if _, dup := seen[id]; dup {
+		if _, dup := m.want[id]; dup {
 			continue
 		}
-		seen[id] = struct{}{}
-		m.cursors = append(m.cursors, r.Scan(id, t0, t1))
-	}
-	if err := m.prime(); err != nil {
-		m.Close()
-		return nil, err
+		m.want[id] = len(m.queues)
+		m.queues = append(m.queues, sensorQueue{sensor: id, pending: true})
 	}
 	return m, nil
 }
 
-// mergeIterator k-way merges per-sensor cursors. Correctness rests on
-// each cursor yielding strictly increasing (EndUS, Frame) — true for a
-// single recorded run, where a sensor's frame clock only moves forward.
-// A store holding several appended runs breaks that precondition (each
-// run restarts the clock), so advance detects the regression and fails
-// loudly instead of interleaving snapshots from different runs into one
-// timeline.
-type mergeIterator struct {
-	cursors []*Cursor
-	heads   []Snapshot
-	live    []bool
+// ReplayStats counts a replay's segment I/O, making read amplification
+// observable: a single-pass merge opens each matching segment once, so
+// SegmentsOpened stays at the store's segment count no matter how many
+// sensors merge, and BytesRead stays at the store's data size.
+type ReplayStats struct {
+	SegmentsOpened int64
+	BytesRead      int64
+	// Records counts every record streamed past the demultiplexer,
+	// matching or not; Buffered is the high-water mark of snapshots queued
+	// across all sensors (the interleaving skew the merge absorbed).
+	Records  int64
+	Buffered int
 }
 
-func (m *mergeIterator) prime() error {
-	m.heads = make([]Snapshot, len(m.cursors))
-	m.live = make([]bool, len(m.cursors))
-	for i := range m.cursors {
-		if err := m.advance(i); err != nil {
-			return err
+// sensorQueue is one sensor's FIFO of decoded snapshots awaiting merge.
+type sensorQueue struct {
+	sensor int
+	buf    []Snapshot
+	head   int
+	// lastEndUS/lastFrame track the most recently enqueued snapshot's
+	// clock, for the multi-run regression check and the empty-queue merge
+	// bound; valid when primed.
+	lastEndUS int64
+	lastFrame int
+	primed    bool
+	// pending means not-yet-consumed segments may still hold this sensor's
+	// records (per the segment metadata); once false it stays false, and
+	// an empty non-pending queue no longer blocks the merge — this is what
+	// keeps buffering bounded when a sensor drops out mid-store.
+	pending bool
+}
+
+func (q *sensorQueue) empty() bool { return q.head >= len(q.buf) }
+
+// pushSlot appends a zero snapshot and returns a pointer to it, so the
+// decoder can fill it in place without an intermediate struct copy.
+func (q *sensorQueue) pushSlot() *Snapshot {
+	// Compact the consumed prefix once it dominates the buffer, keeping
+	// the queue allocation-stable over long replays.
+	if q.head > 32 && q.head*2 >= len(q.buf) {
+		n := copy(q.buf, q.buf[q.head:])
+		q.buf = q.buf[:n]
+		q.head = 0
+	}
+	q.buf = append(q.buf, Snapshot{})
+	return &q.buf[len(q.buf)-1]
+}
+
+func (q *sensorQueue) unpush() { q.buf = q.buf[:len(q.buf)-1] }
+
+func (q *sensorQueue) peek() *Snapshot { return &q.buf[q.head] }
+
+func (q *sensorQueue) pop() Snapshot {
+	s := q.buf[q.head]
+	q.head++
+	return s
+}
+
+// sharedMergeIterator implements the single-pass k-way merge: one
+// sequential reader over the segment chain feeds per-sensor queues, and
+// Next pops the (EndUS, Sensor, Frame)-minimal head once every sensor that
+// could still produce a smaller record has one buffered. Correctness of
+// the merge rests on each sensor's records being strictly increasing in
+// (EndUS, Frame) on disk — true for a single recorded run, where a
+// sensor's frame clock only moves forward. A store holding several
+// appended runs breaks that precondition (each run restarts the clock),
+// so the demultiplexer detects the regression and fails loudly instead of
+// interleaving snapshots from different runs into one timeline.
+type sharedMergeIterator struct {
+	r      *Reader
+	t0, t1 int64
+	want   map[int]int // sensor id -> queue index
+	queues []sensorQueue
+	stream segStream
+	// dec amortizes decode allocations: the merge decodes every matching
+	// record in the store, so per-record name and box allocations would
+	// dominate the replay.
+	dec       snapDecoder
+	exhausted bool // every segment fully consumed
+	failed    bool
+	// pendingSeg memoizes refreshPending on the stream's segment position.
+	pendingSeg int
+	stats      ReplayStats
+}
+
+// segMayMatch reports whether a segment can hold any record this replay
+// wants.
+func (m *sharedMergeIterator) segMayMatch(s readerSeg) bool {
+	if s.meta.Records == 0 || s.meta.MaxEndUS <= m.t0 {
+		return false
+	}
+	for id := range m.want {
+		if _, ok := s.meta.Sensors[id]; ok {
+			return true
 		}
 	}
-	return nil
-}
-
-func (m *mergeIterator) advance(i int) error {
-	prev, hadPrev := m.heads[i], m.live[i]
-	snap, err := m.cursors[i].Next()
-	if err == io.EOF {
-		m.live[i] = false
-		return nil
-	}
-	if err != nil {
-		return err
-	}
-	if hadPrev && (snap.EndUS < prev.EndUS || (snap.EndUS == prev.EndUS && snap.Frame <= prev.Frame)) {
-		return fmt.Errorf("store: sensor %d timestamps regress at frame %d (end %d us after %d us): store holds multiple runs; replay requires one run per directory",
-			snap.Sensor, snap.Frame, snap.EndUS, prev.EndUS)
-	}
-	m.heads[i], m.live[i] = snap, true
-	return nil
+	return false
 }
 
 // Next implements Iterator.
-func (m *mergeIterator) Next() (Snapshot, error) {
-	best := -1
-	for i, ok := range m.live {
-		if !ok {
-			continue
-		}
-		if best < 0 || snapLess(m.heads[i], m.heads[best]) {
-			best = i
-		}
-	}
-	if best < 0 {
+func (m *sharedMergeIterator) Next() (Snapshot, error) {
+	if m.failed {
 		return Snapshot{}, io.EOF
 	}
-	out := m.heads[best]
-	if err := m.advance(best); err != nil {
-		return Snapshot{}, err
+	for {
+		best := -1
+		for i := range m.queues {
+			if m.queues[i].empty() {
+				continue
+			}
+			if best < 0 || snapLess(m.queues[i].peek(), m.queues[best].peek()) {
+				best = i
+			}
+		}
+		if best >= 0 && (m.exhausted || m.safeToPop(m.queues[best].peek())) {
+			return m.queues[best].pop(), nil
+		}
+		if m.exhausted {
+			return Snapshot{}, io.EOF
+		}
+		if err := m.fill(); err != nil {
+			m.failed = true
+			m.stream.close()
+			return Snapshot{}, err
+		}
 	}
-	return out, nil
+}
+
+// safeToPop reports whether no record still on disk can sort before head.
+// A non-empty queue needs no check (head is already the minimum buffered
+// key, and that queue's future records sort after its own head). An empty
+// queue with no pending segments can produce nothing more and never
+// blocks. An empty pending queue bounds its future records from below by
+// its last streamed snapshot — per-sensor monotonicity guarantees the
+// next one is strictly later in (EndUS, Frame) — so head is safe when it
+// sorts before that bound. An empty pending queue whose sensor has not
+// been seen yet gives no bound at all: its first record could carry any
+// timestamp, so the merge must keep streaming before it can emit
+// anything.
+func (m *sharedMergeIterator) safeToPop(head *Snapshot) bool {
+	m.refreshPending()
+	for i := range m.queues {
+		q := &m.queues[i]
+		if !q.empty() || !q.pending {
+			continue
+		}
+		if !q.primed {
+			return false
+		}
+		// The queue's next record sorts at or after (lastEndUS, its
+		// sensor, lastFrame+1); head must sort strictly before that. On a
+		// time tie the order falls to the sensor id (head's sensor cannot
+		// equal the empty queue's — head would be its own record).
+		if head.EndUS > q.lastEndUS || (head.EndUS == q.lastEndUS && head.Sensor > q.sensor) {
+			return false
+		}
+	}
+	return true
+}
+
+// refreshPending recomputes, per queue, whether any not-yet-consumed
+// segment can still hold its sensor's records, using the segment metadata
+// already captured at OpenReader. Memoized on the stream's segment
+// position, so the scan runs once per segment advance. The range
+// conservatively includes the most recently opened segment (it may still
+// be mid-read).
+func (m *sharedMergeIterator) refreshPending() {
+	if m.pendingSeg == m.stream.segIdx {
+		return
+	}
+	m.pendingSeg = m.stream.segIdx
+	from := m.stream.segIdx - 1
+	if from < 0 {
+		from = 0
+	}
+	remaining := m.r.segs[from:]
+	for i := range m.queues {
+		q := &m.queues[i]
+		if !q.pending {
+			continue
+		}
+		q.pending = false
+		for _, seg := range remaining {
+			if seg.meta.MaxEndUS <= m.t0 || seg.meta.Records == 0 {
+				continue
+			}
+			if _, ok := seg.meta.Sensors[q.sensor]; ok {
+				q.pending = true
+				break
+			}
+		}
+	}
+}
+
+// fill streams records from the segment chain until one matching snapshot
+// is enqueued or the chain is exhausted.
+func (m *sharedMergeIterator) fill() error {
+	for {
+		payload, err := m.stream.next()
+		if err == io.EOF {
+			m.exhausted = true
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		m.stats.Records++
+		// Filter on the cheap peeked fields; only matching records pay
+		// for the full decode (name and box allocations).
+		sensor, startUS, endUS, err := peekMeta(payload)
+		if err != nil {
+			return err
+		}
+		qi, wanted := m.want[sensor]
+		if !wanted || startUS >= m.t1 || endUS <= m.t0 {
+			continue
+		}
+		q := &m.queues[qi]
+		slot := q.pushSlot()
+		if err := decodeSnapshotInto(slot, payload, &m.dec); err != nil {
+			q.unpush()
+			return err
+		}
+		if q.primed && (slot.EndUS < q.lastEndUS || (slot.EndUS == q.lastEndUS && slot.Frame <= q.lastFrame)) {
+			err := fmt.Errorf("store: sensor %d timestamps regress at frame %d (end %d us after %d us): store holds multiple runs; replay requires one run per directory",
+				slot.Sensor, slot.Frame, slot.EndUS, q.lastEndUS)
+			q.unpush()
+			return err
+		}
+		q.lastEndUS, q.lastFrame, q.primed = slot.EndUS, slot.Frame, true
+		if buffered := m.buffered(); buffered > m.stats.Buffered {
+			m.stats.Buffered = buffered
+		}
+		return nil
+	}
+}
+
+func (m *sharedMergeIterator) buffered() int {
+	n := 0
+	for i := range m.queues {
+		n += len(m.queues[i].buf) - m.queues[i].head
+	}
+	return n
+}
+
+// Stats returns the replay's I/O counters so far. Useful after draining
+// the iterator to verify read amplification (each shared segment read
+// once).
+func (m *sharedMergeIterator) Stats() ReplayStats {
+	st := m.stats
+	st.SegmentsOpened = m.stream.opened
+	st.BytesRead = m.stream.bytesRead
+	return st
 }
 
 // snapLess orders snapshots by (EndUS, Sensor, Frame).
-func snapLess(a, b Snapshot) bool {
+func snapLess(a, b *Snapshot) bool {
 	if a.EndUS != b.EndUS {
 		return a.EndUS < b.EndUS
 	}
@@ -378,12 +604,10 @@ func snapLess(a, b Snapshot) bool {
 }
 
 // Close implements Iterator.
-func (m *mergeIterator) Close() error {
-	for _, c := range m.cursors {
-		if c != nil {
-			c.Close()
-		}
-	}
+func (m *sharedMergeIterator) Close() error {
+	m.failed = true
+	m.exhausted = true
+	m.stream.close()
 	return nil
 }
 

@@ -239,7 +239,7 @@ func TestReplayMergesSensorsInTimestampOrder(t *testing.T) {
 	}
 	perSensor := map[int]int{}
 	for i, s := range got {
-		if i > 0 && snapLess(s, got[i-1]) {
+		if i > 0 && snapLess(&s, &got[i-1]) {
 			t.Fatalf("record %d (%d/%d) out of (EndUS, Sensor, Frame) order after (%d/%d)",
 				i, s.EndUS, s.Sensor, got[i-1].EndUS, got[i-1].Sensor)
 		}
@@ -255,6 +255,90 @@ func TestReplayMergesSensorsInTimestampOrder(t *testing.T) {
 	}
 	if got := collect(t, it); len(got) != 40 || got[0].Sensor != 1 {
 		t.Fatalf("Replay([1]) yielded %d records (first sensor %d)", len(got), got[0].Sensor)
+	}
+}
+
+// TestReplaySinglePass pins the read-amplification contract of the
+// shared-segment merge: a k-sensor replay opens each matching segment
+// exactly once and reads each stored byte once, where the previous design
+// ran k sequential cursors (k x amplification).
+func TestReplaySinglePass(t *testing.T) {
+	dir := t.TempDir()
+	writeStore(t, dir, Options{SegmentBytes: 4096}, []int{0, 1, 2, 3}, 100, 66_000)
+	r, err := OpenReader(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := r.Stats()
+	if st.Segments < 2 {
+		t.Fatalf("want a multi-segment store, got %d segments", st.Segments)
+	}
+	it, err := r.Replay(nil, 0, math.MaxInt64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := collect(t, it); len(got) != 400 {
+		t.Fatalf("replay yielded %d records, want 400", len(got))
+	}
+	rs := it.(*sharedMergeIterator).Stats()
+	if rs.SegmentsOpened != int64(st.Segments) {
+		t.Fatalf("opened %d segments of %d: not single-pass", rs.SegmentsOpened, st.Segments)
+	}
+	if want := st.DataBytes - int64(st.Segments)*segHeaderLen; rs.BytesRead != want {
+		t.Fatalf("read %d bytes of %d stored: amplified", rs.BytesRead, want)
+	}
+	if rs.Records != 400 {
+		t.Fatalf("streamed %d records, want 400", rs.Records)
+	}
+	// Round-robin interleaving keeps the merge buffer near the sensor
+	// count, not the store size.
+	if rs.Buffered > 16 {
+		t.Fatalf("buffered %d snapshots for a round-robin store", rs.Buffered)
+	}
+
+	// A sensor whose records end early must not stall or disorder the
+	// merge (its last-seen clock lower-bounds its future records). Keep
+	// the small rotation so post-dropout records land in segments whose
+	// metadata provably lacks sensor 3.
+	w, err := Open(dir, Options{SegmentBytes: 4096})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for f := 100; f < 140; f++ {
+		for _, id := range []int{0, 1, 2} { // sensor 3 goes silent
+			if err := w.Append(snap(id, f, 66_000)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	r, err = OpenReader(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	it, err = r.Replay(nil, 0, math.MaxInt64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := collect(t, it)
+	if len(got) != 400+120 {
+		t.Fatalf("replay yielded %d records, want %d", len(got), 400+120)
+	}
+	for i := 1; i < len(got); i++ {
+		if snapLess(&got[i], &got[i-1]) {
+			t.Fatalf("record %d out of order after sensor dropout", i)
+		}
+	}
+	// The dropout must not make the merge buffer the rest of the store:
+	// once the segment metadata shows no further segment holds sensor 3,
+	// its empty queue stops blocking pops. The bound is one segment's
+	// worth of records (the segment where the dropout happens), not the
+	// 120 post-dropout records.
+	rs = it.(*sharedMergeIterator).Stats()
+	if rs.Buffered > 100 {
+		t.Fatalf("buffered %d snapshots after sensor dropout: merge is not using segment metadata to release the silent sensor", rs.Buffered)
 	}
 }
 
