@@ -1,6 +1,10 @@
 GO ?= go
 # Benchtime for the machine-readable bench run; raise for stabler numbers.
 BENCHTIME ?= 100ms
+# Repetitions per benchmark for the machine-readable run; ebbiot-benchfmt
+# keeps the fastest repetition, so -count > 1 filters scheduler-steal noise
+# on shared CPUs.
+BENCHCOUNT ?= 1
 
 # bench-json pipes go test into the formatter; without pipefail a failing
 # benchmark would exit with the formatter's (successful) status and CI
@@ -8,7 +12,7 @@ BENCHTIME ?= 100ms
 SHELL := /bin/bash
 .SHELLFLAGS := -o pipefail -ec
 
-.PHONY: build test race bench bench-store bench-imgproc bench-json vet check smoke-control
+.PHONY: build test race bench bench-store bench-imgproc bench-json bench-compare bench-gate vet check smoke-control
 
 build:
 	$(GO) build ./...
@@ -34,13 +38,51 @@ bench-imgproc:
 	$(GO) test -run xxx -bench . -benchmem ./internal/imgproc/ ./internal/ebbi/
 
 # Machine-readable benchmark results for cross-PR perf tracking: the hot
-# packages' benchmarks (frame kernels, EBBI window chain, snapshot store)
-# parsed into BENCH.json (name, ns/op, B/op, allocs/op, custom metrics).
-# CI runs this and uploads the artifact.
+# packages' benchmarks (frame kernels, EBBI window chain, the fused core
+# window path, snapshot store) parsed into BENCH.json (name, ns/op, B/op,
+# allocs/op, custom metrics). CI runs this and uploads the artifact.
 bench-json:
-	$(GO) test -run xxx -bench . -benchmem -benchtime $(BENCHTIME) \
-		./internal/imgproc/ ./internal/ebbi/ ./internal/store/ \
+	$(GO) test -run xxx -bench . -benchmem -benchtime $(BENCHTIME) -count $(BENCHCOUNT) \
+		./internal/imgproc/ ./internal/ebbi/ ./internal/core/ ./internal/store/ \
 		| $(GO) run ./cmd/ebbiot-benchfmt -o BENCH.json -tee
+
+# Regression gate: measure ONLY the gated benchmarks (median, downsample,
+# the fused ProcessWindow path) de-noised, then diff against BENCH_OLD
+# (default: the committed baseline snapshot). Any gated benchmark slowing
+# down more than BENCH_TOLERANCE percent on ns/op fails the target.
+# Refresh the baseline deliberately with `BENCHTIME=300ms BENCHCOUNT=5
+# make bench-json && cp BENCH.json BENCH_baseline.json` (matching the
+# gate's settings) when a perf change is intentional.
+#
+# Noise model, measured on this container: the shared vCPU drifts 20-55%
+# on a minutes timescale, which no tolerance below "algorithmic
+# regression" territory can absorb across sequential runs — so treat this
+# target as ADVISORY. The authoritative gate is bench-gate below (what CI
+# runs): an interleaved A/B comparison where base and head alternate
+# repetition by repetition, sampling the same machine phases, with the
+# benchfmt parser keeping each side's fastest repetition. There 15%
+# catches real regressions (which land as 2x+); here, against a committed
+# snapshot from another machine or day, expect drift — override
+# BENCH_TOLERANCE or refresh the baseline.
+BENCH_TOLERANCE ?= 15
+BENCH_MATCH ?= Median|Downsample|ProcessWindow
+BENCH_OLD ?= BENCH_baseline.json
+bench-compare:
+	$(GO) test -run xxx -bench '$(BENCH_MATCH)' -benchmem -benchtime 300ms -count 5 \
+		./internal/imgproc/ ./internal/ebbi/ ./internal/core/ ./internal/store/ \
+		| $(GO) run ./cmd/ebbiot-benchfmt -o BENCH.json -tee
+	$(GO) run ./cmd/ebbiot-benchfmt compare -tolerance $(BENCH_TOLERANCE) \
+		-match '$(BENCH_MATCH)' $(BENCH_OLD) BENCH.json
+
+# The authoritative regression gate (what CI runs on PRs): interleaved
+# A/B comparison of two source trees on this machine — alternating
+# base/head executions repetition by repetition so both sides sample the
+# same machine phases, which is the only scheme that holds a 15% tolerance
+# on a drifting vCPU. BASE defaults to a worktree of the merge base.
+BENCH_BASE ?=
+bench-gate:
+	@test -n "$(BENCH_BASE)" || { echo "usage: make bench-gate BENCH_BASE=/path/to/base/tree"; exit 2; }
+	BENCH_TOLERANCE=$(BENCH_TOLERANCE) ./scripts/bench-gate.sh $(BENCH_BASE) .
 
 vet:
 	$(GO) vet ./...

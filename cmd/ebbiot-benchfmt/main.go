@@ -11,9 +11,16 @@
 // land in the metrics map. Non-benchmark lines pass through untouched to
 // stderr with -tee, so the human-readable output is not lost in pipelines.
 //
+// The compare subcommand diffs two such JSON files and fails on
+// regressions, which is how CI gates kernel performance: every benchmark
+// present in both files is compared on ns/op, percent deltas are printed,
+// and any slowdown beyond -tolerance percent exits nonzero (after listing
+// every regression, not just the first).
+//
 // Usage:
 //
 //	go test -run xxx -bench . -benchmem ./... | ebbiot-benchfmt [-o BENCH.json] [-tee]
+//	ebbiot-benchfmt compare [-tolerance 15] [-match regex] old.json new.json
 package main
 
 import (
@@ -23,6 +30,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"regexp"
 	"strconv"
 	"strings"
 )
@@ -39,6 +47,9 @@ type Result struct {
 }
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "compare" {
+		os.Exit(runCompare(os.Args[2:]))
+	}
 	out := flag.String("o", "", "output file (default stdout)")
 	tee := flag.Bool("tee", false, "echo the raw input to stderr")
 	flag.Parse()
@@ -70,11 +81,16 @@ func main() {
 //
 //	BenchmarkName-8   123   456.7 ns/op   12 B/op   3 allocs/op   1.0 MB/s
 //
-// preceded by "pkg: <import path>" headers in multi-package runs.
+// preceded by "pkg: <import path>" headers in multi-package runs. When a
+// benchmark repeats (go test -count N), only the fastest ns/op repetition
+// is kept: the minimum is the run least disturbed by scheduler noise, so
+// -count turns a single noisy sample into a de-noised one — which is what
+// the compare gate wants on shared/virtualized CPUs.
 func parse(f io.Reader, tee bool) ([]Result, error) {
 	sc := bufio.NewScanner(f)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	results := []Result{}
+	index := map[string]int{}
 	pkg := ""
 	for sc.Scan() {
 		line := sc.Text()
@@ -119,9 +135,127 @@ func parse(f io.Reader, tee bool) ([]Result, error) {
 				r.Metrics[unit] = v
 			}
 		}
+		if at, ok := index[benchKey(r)]; ok {
+			if r.NsPerOp < results[at].NsPerOp {
+				results[at] = r
+			}
+			continue
+		}
+		index[benchKey(r)] = len(results)
 		results = append(results, r)
 	}
 	return results, sc.Err()
+}
+
+// runCompare implements the compare subcommand: load two BENCH.json files,
+// diff ns/op per benchmark, and return the process exit code (1 when any
+// regression exceeds the tolerance, 2 on usage or load errors).
+func runCompare(args []string) int {
+	fs := flag.NewFlagSet("compare", flag.ExitOnError)
+	tol := fs.Float64("tolerance", 15, "allowed ns/op slowdown in percent before failing")
+	match := fs.String("match", "", "regexp limiting the comparison to matching benchmark names")
+	fs.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: ebbiot-benchfmt compare [-tolerance pct] [-match regexp] old.json new.json")
+		fs.PrintDefaults()
+	}
+	_ = fs.Parse(args)
+	if fs.NArg() != 2 {
+		fs.Usage()
+		return 2
+	}
+	var re *regexp.Regexp
+	if *match != "" {
+		var err error
+		if re, err = regexp.Compile(*match); err != nil {
+			fmt.Fprintln(os.Stderr, "ebbiot-benchfmt: bad -match:", err)
+			return 2
+		}
+	}
+	old, err := loadResults(fs.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ebbiot-benchfmt:", err)
+		return 2
+	}
+	cur, err := loadResults(fs.Arg(1))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ebbiot-benchfmt:", err)
+		return 2
+	}
+	regressions := compare(os.Stdout, old, cur, *tol, re)
+	if regressions > 0 {
+		fmt.Fprintf(os.Stderr, "ebbiot-benchfmt: %d regression(s) beyond %.1f%%\n", regressions, *tol)
+		return 1
+	}
+	return 0
+}
+
+func loadResults(path string) ([]Result, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rs []Result
+	if err := json.Unmarshal(data, &rs); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return rs, nil
+}
+
+// benchKey identifies a benchmark across files; the package qualifies the
+// name so same-named benchmarks in different packages stay distinct.
+func benchKey(r Result) string {
+	if r.Pkg == "" {
+		return r.Name
+	}
+	return r.Pkg + "." + r.Name
+}
+
+// compare prints one line per benchmark present in both runs — old and new
+// ns/op plus the percent delta, flagging slowdowns beyond tol — and
+// summarises benchmarks present on only one side (renames and new coverage
+// are informational, never failures). It returns the regression count.
+func compare(w io.Writer, old, cur []Result, tol float64, re *regexp.Regexp) int {
+	oldBy := make(map[string]Result, len(old))
+	for _, r := range old {
+		oldBy[benchKey(r)] = r
+	}
+	curKeys := make(map[string]bool, len(cur))
+	compared, regressions, onlyNew := 0, 0, 0
+	for _, r := range cur {
+		key := benchKey(r)
+		curKeys[key] = true
+		if re != nil && !re.MatchString(r.Name) {
+			continue
+		}
+		prev, ok := oldBy[key]
+		if !ok {
+			onlyNew++
+			continue
+		}
+		if prev.NsPerOp <= 0 {
+			continue
+		}
+		compared++
+		delta := (r.NsPerOp - prev.NsPerOp) / prev.NsPerOp * 100
+		flag := ""
+		if delta > tol {
+			flag = fmt.Sprintf("  REGRESSION (> %.1f%%)", tol)
+			regressions++
+		}
+		fmt.Fprintf(w, "%-60s %12.1f -> %12.1f ns/op  %+7.1f%%%s\n", r.Name, prev.NsPerOp, r.NsPerOp, delta, flag)
+	}
+	onlyOld := 0
+	for _, r := range old {
+		if re != nil && !re.MatchString(r.Name) {
+			continue
+		}
+		if !curKeys[benchKey(r)] {
+			onlyOld++
+		}
+	}
+	fmt.Fprintf(w, "%d compared, %d regression(s), %d only in old, %d only in new\n",
+		compared, regressions, onlyOld, onlyNew)
+	return regressions
 }
 
 // trimProcs strips the -GOMAXPROCS suffix go test appends to benchmark

@@ -1,6 +1,10 @@
 package main
 
 import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"regexp"
 	"strings"
 	"testing"
 )
@@ -43,6 +47,122 @@ func TestParse(t *testing.T) {
 	r = got[3]
 	if r.Name != "BenchmarkReplay" || r.Metrics["segment-reads/segment"] != 1 {
 		t.Fatalf("result 3 = %+v", r)
+	}
+}
+
+// TestParseCountDedup pins the -count de-noising: repeated runs of the
+// same benchmark collapse to the fastest repetition, in first-seen order,
+// and same-named benchmarks in different packages stay distinct.
+func TestParseCountDedup(t *testing.T) {
+	const repeated = `pkg: ebbiot/internal/imgproc
+BenchmarkMedianPacked-8    100    900 ns/op
+BenchmarkMedianPacked-8    100    700 ns/op    3 B/op
+BenchmarkMedianPacked-8    100    800 ns/op
+BenchmarkCCAPacked-8       100    500 ns/op
+pkg: ebbiot/internal/store
+BenchmarkMedianPacked-8    100    100 ns/op
+`
+	got, err := parse(strings.NewReader(repeated), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 {
+		t.Fatalf("parsed %d results, want 3: %+v", len(got), got)
+	}
+	r := got[0]
+	if r.Pkg != "ebbiot/internal/imgproc" || r.Name != "BenchmarkMedianPacked" || r.NsPerOp != 700 {
+		t.Fatalf("result 0 = %+v, want the fastest imgproc repetition", r)
+	}
+	if r.BytesPerOp == nil || *r.BytesPerOp != 3 {
+		t.Fatalf("result 0 must carry the winning repetition's memstats: %+v", r)
+	}
+	if got[1].Name != "BenchmarkCCAPacked" {
+		t.Fatalf("result 1 = %+v, want first-seen order kept", got[1])
+	}
+	if got[2].Pkg != "ebbiot/internal/store" || got[2].NsPerOp != 100 {
+		t.Fatalf("result 2 = %+v, want the store package kept distinct", got[2])
+	}
+}
+
+func res(pkg, name string, ns float64) Result {
+	return Result{Pkg: pkg, Name: name, Iterations: 1, NsPerOp: ns}
+}
+
+func TestCompare(t *testing.T) {
+	old := []Result{
+		res("p", "BenchmarkMedian", 1000),
+		res("p", "BenchmarkDownsample", 500),
+		res("p", "BenchmarkRetired", 42),
+		res("q", "BenchmarkOther", 100),
+	}
+	cur := []Result{
+		res("p", "BenchmarkMedian", 1300), // +30%: regression at 15%
+		res("p", "BenchmarkDownsample", 400),
+		res("p", "BenchmarkFresh", 7),
+		res("q", "BenchmarkOther", 90),
+	}
+	var buf strings.Builder
+	if got := compare(&buf, old, cur, 15, nil); got != 1 {
+		t.Fatalf("regressions = %d, want 1; output:\n%s", got, buf.String())
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"BenchmarkMedian", "+30.0%", "REGRESSION",
+		"BenchmarkDownsample", "-20.0%",
+		"3 compared, 1 regression(s), 1 only in old, 1 only in new",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+
+	// Within tolerance: the same +30% passes at 50%.
+	buf.Reset()
+	if got := compare(&buf, old, cur, 50, nil); got != 0 {
+		t.Fatalf("regressions at 50%% tolerance = %d, want 0", got)
+	}
+
+	// -match restricts both the comparison and the failure.
+	buf.Reset()
+	if got := compare(&buf, old, cur, 15, regexp.MustCompile("Downsample")); got != 0 {
+		t.Fatalf("matched regressions = %d, want 0", got)
+	}
+	if !strings.Contains(buf.String(), "1 compared, 0 regression(s)") {
+		t.Errorf("match summary wrong:\n%s", buf.String())
+	}
+}
+
+// TestRunCompare covers the file-level wrapper and its exit codes.
+func TestRunCompare(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name string, rs []Result) string {
+		data, err := json.Marshal(rs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		path := filepath.Join(dir, name)
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+	oldPath := write("old.json", []Result{res("p", "BenchmarkMedian", 1000)})
+	same := write("same.json", []Result{res("p", "BenchmarkMedian", 1010)})
+	slow := write("slow.json", []Result{res("p", "BenchmarkMedian", 2000)})
+	if code := runCompare([]string{oldPath, same}); code != 0 {
+		t.Errorf("clean compare exit = %d, want 0", code)
+	}
+	if code := runCompare([]string{oldPath, slow}); code != 1 {
+		t.Errorf("regressed compare exit = %d, want 1", code)
+	}
+	if code := runCompare([]string{"-tolerance", "150", oldPath, slow}); code != 0 {
+		t.Errorf("tolerant compare exit = %d, want 0", code)
+	}
+	if code := runCompare([]string{oldPath}); code != 2 {
+		t.Errorf("usage error exit = %d, want 2", code)
+	}
+	if code := runCompare([]string{oldPath, filepath.Join(dir, "missing.json")}); code != 2 {
+		t.Errorf("missing file exit = %d, want 2", code)
 	}
 }
 

@@ -34,6 +34,14 @@
 // timing breakdown (ebbi / filter / rpn / track / sink) so kernel
 // before/after numbers are visible straight from the CLI.
 //
+// Two window-loop knobs ride on top: -skip-threshold arms the near-empty
+// window fast path (windows with fewer in-array events bypass the median /
+// proposal stages; the default -1 keeps the lossless bound floor(p^2/2)+1,
+// 0 disables), with the skip count reported in the stage summary and as
+// windows_skipped on /streams/{id} and /metrics; -batch N pulls N
+// contiguous windows per stream iteration to amortize per-window dispatch,
+// trading live-retune granularity and snapshot latency for throughput.
+//
 // Usage:
 //
 //	ebbiot-run -in eng.aer | -scene MS
@@ -41,6 +49,7 @@
 //	           [-sensors N] [-workers M] [-stats stats.csv] [-json]
 //	           [-store dir] [-store-segment-mb 64] [-store-sync 0]
 //	           [-http :8080] [-pace] [-speed 1.0] [-reference]
+//	           [-batch 1] [-skip-threshold -1]
 package main
 
 import (
@@ -112,6 +121,8 @@ func run() error {
 	pace := flag.Bool("pace", false, "release windows at recorded wall-clock speed instead of as fast as possible")
 	speed := flag.Float64("speed", 1.0, "pacing speed multiplier with -pace (1 = recorded speed)")
 	reference := flag.Bool("reference", false, "use the byte-per-pixel reference frame chain instead of the packed word-parallel fast path")
+	batch := flag.Int("batch", 1, "windows pulled and processed per stream iteration; >1 amortizes per-window dispatch but coarsens live retunes and snapshot latency to batch boundaries")
+	skipThresh := flag.Int("skip-threshold", -1, "skip windows with fewer in-array events than this (0 disables, -1 keeps the lossless default floor(p^2/2)+1)")
 	flag.Parse()
 
 	if (*in == "") == (*sceneMS == 0) {
@@ -135,6 +146,9 @@ func run() error {
 	// retunes it when -http is given.
 	ps := control.Defaults()
 	ps.FrameUS = *frameMS * 1000
+	if *skipThresh >= 0 {
+		ps.SkipEventsBelow = *skipThresh
+	}
 	paramStore, err := control.NewParamStore(ps)
 	if err != nil {
 		return err
@@ -247,7 +261,7 @@ func run() error {
 		sink = pipeline.MultiSink{sink, pipeline.NewStoreSink(sw)}
 	}
 
-	runner, err := pipeline.NewRunner(pipeline.Config{FrameUS: ps.FrameUS, Workers: *workers})
+	runner, err := pipeline.NewRunner(pipeline.Config{FrameUS: ps.FrameUS, Workers: *workers, Batch: *batch})
 	if err != nil {
 		return err
 	}
@@ -319,8 +333,9 @@ func run() error {
 		if *reference {
 			path = "reference"
 		}
-		fmt.Fprintf(os.Stderr, "stage breakdown (%s path, mean µs/window over %d windows): ebbi %.1f, filter %.1f, rpn %.1f, track %.1f, sink %.1f, active px %.1f%%\n",
-			path, agg.Windows, perUS(agg.EBBI), perUS(agg.Filter), perUS(agg.RPN), perUS(agg.Track), sinkUS,
+		fmt.Fprintf(os.Stderr, "stage breakdown (%s path, batch %d, mean µs/window over %d windows): ebbi %.1f, filter %.1f, rpn %.1f, track %.1f, sink %.1f, skipped %d (%.1f%%), active px %.1f%%\n",
+			path, *batch, agg.Windows, perUS(agg.EBBI), perUS(agg.Filter), perUS(agg.RPN), perUS(agg.Track), sinkUS,
+			agg.Skipped, 100*float64(agg.Skipped)/float64(agg.Windows),
 			100*agg.MeanActiveFraction())
 	}
 	if v := paramStore.Version(); v > 1 {

@@ -36,6 +36,11 @@ type ParamSet struct {
 	FrameUS int64 `json:"frame_us"`
 	// MedianP is the binary median patch size (odd).
 	MedianP int `json:"median_p"`
+	// SkipEventsBelow is the near-empty window fast-path threshold: windows
+	// with fewer in-array events bypass the filter/proposal stages (0
+	// disables; see core.Config.SkipEventsBelow and
+	// core.LosslessSkipThreshold for the lossless bound).
+	SkipEventsBelow int `json:"skip_events_below"`
 
 	// RPN: downsampling factors, run threshold, gap merging, validity check
 	// and minimum proposal size (see rpn.Config).
@@ -69,23 +74,24 @@ func Defaults() ParamSet {
 // FromCore lifts a core configuration into a ParamSet at the given version.
 func FromCore(cfg core.Config, version int64) ParamSet {
 	return ParamSet{
-		Version:        version,
-		FrameUS:        cfg.EBBI.FrameUS,
-		MedianP:        cfg.EBBI.MedianP,
-		S1:             cfg.RPN.S1,
-		S2:             cfg.RPN.S2,
-		Threshold:      cfg.RPN.Threshold,
-		MergeGap:       cfg.RPN.MergeGap,
-		MinValidPixels: cfg.RPN.MinValidPixels,
-		MinW:           cfg.RPN.MinW,
-		MinH:           cfg.RPN.MinH,
-		Tighten:        cfg.RPN.Tighten,
-		MaxTrackers:    cfg.Tracker.MaxTrackers,
-		MatchFraction:  cfg.Tracker.MatchFraction,
-		MinHits:        cfg.Tracker.MinHits,
-		MaxMisses:      cfg.Tracker.MaxMisses,
-		ActivePowerMW:  90,
-		SleepPowerMW:   0.5,
+		Version:         version,
+		FrameUS:         cfg.EBBI.FrameUS,
+		MedianP:         cfg.EBBI.MedianP,
+		SkipEventsBelow: cfg.SkipEventsBelow,
+		S1:              cfg.RPN.S1,
+		S2:              cfg.RPN.S2,
+		Threshold:       cfg.RPN.Threshold,
+		MergeGap:        cfg.RPN.MergeGap,
+		MinValidPixels:  cfg.RPN.MinValidPixels,
+		MinW:            cfg.RPN.MinW,
+		MinH:            cfg.RPN.MinH,
+		Tighten:         cfg.RPN.Tighten,
+		MaxTrackers:     cfg.Tracker.MaxTrackers,
+		MatchFraction:   cfg.Tracker.MatchFraction,
+		MinHits:         cfg.Tracker.MinHits,
+		MaxMisses:       cfg.Tracker.MaxMisses,
+		ActivePowerMW:   90,
+		SleepPowerMW:    0.5,
 	}
 }
 
@@ -95,6 +101,7 @@ func FromCore(cfg core.Config, version int64) ParamSet {
 func (p ParamSet) Apply(base core.Config) core.Config {
 	base.EBBI.FrameUS = p.FrameUS
 	base.EBBI.MedianP = p.MedianP
+	base.SkipEventsBelow = p.SkipEventsBelow
 	base.RPN.S1 = p.S1
 	base.RPN.S2 = p.S2
 	base.RPN.Threshold = p.Threshold
@@ -115,6 +122,7 @@ func (p ParamSet) Apply(base core.Config) core.Config {
 func (p ParamSet) ApplyKF(base core.KFConfig) core.KFConfig {
 	base.EBBI.FrameUS = p.FrameUS
 	base.EBBI.MedianP = p.MedianP
+	base.SkipEventsBelow = p.SkipEventsBelow
 	base.RPN.S1 = p.S1
 	base.RPN.S2 = p.S2
 	base.RPN.Threshold = p.Threshold
@@ -152,6 +160,9 @@ func (p ParamSet) Validate() error {
 	}
 	if err := cfg.Tracker.Validate(); err != nil {
 		return fmt.Errorf("control: %w", err)
+	}
+	if p.SkipEventsBelow < 0 {
+		return fmt.Errorf("control: skip_events_below must be non-negative, got %d", p.SkipEventsBelow)
 	}
 	if p.ActivePowerMW < 0 || p.SleepPowerMW < 0 {
 		return fmt.Errorf("control: negative power model (%v active, %v sleep)", p.ActivePowerMW, p.SleepPowerMW)

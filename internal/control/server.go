@@ -252,6 +252,13 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		func(ss pipeline.StreamSnapshot) string { return strconv.FormatInt(ss.Events, 10) })
 	emit("ebbiot_boxes_total", "Track boxes reported per stream.", "counter",
 		func(ss pipeline.StreamSnapshot) string { return strconv.FormatInt(ss.Boxes, 10) })
+	emit("ebbiot_windows_skipped_total", "Windows bypassed by the near-empty fast path per stream.", "counter",
+		func(ss pipeline.StreamSnapshot) string {
+			if ss.Stages == nil {
+				return "0"
+			}
+			return strconv.FormatInt(ss.Stages.WindowsSkipped, 10)
+		})
 	emit("ebbiot_proc_seconds_total", "Cumulative ProcessWindow wall-clock per stream.", "counter",
 		func(ss pipeline.StreamSnapshot) string {
 			return strconv.FormatFloat(float64(ss.ProcUS)/1e6, 'g', -1, 64)

@@ -59,6 +59,17 @@ type System interface {
 	ProcessWindow(evs []events.Event) ([]geometry.Box, error)
 }
 
+// WindowBatcher is implemented by systems that can consume several
+// consecutive frame windows in one call. The result is defined to be
+// identical to calling ProcessWindow on each window in order — batching is
+// purely a dispatch optimisation that lets drivers amortize their per-call
+// bookkeeping (tuning checks, status publication, interface dispatch) over
+// a run of windows. Each wins[i] obeys the ProcessWindow aliasing contract:
+// the implementation must not retain it, and each returned slice is fresh.
+type WindowBatcher interface {
+	ProcessWindowBatch(wins [][]events.Event) ([][]geometry.Box, error)
+}
+
 // StageTimings accumulates per-stage wall-clock over the windows a system
 // has processed, the breakdown behind the paper's duty-cycle active slice:
 // EBBI accumulation, median filtering, region proposal and tracker step.
@@ -66,6 +77,11 @@ type System interface {
 type StageTimings struct {
 	// Windows is the number of ProcessWindow calls accumulated.
 	Windows int64
+	// Skipped counts the windows the near-empty fast path bypassed: their
+	// event count was below the configured threshold, so the median /
+	// proposal stages never ran and the tracker stepped with no
+	// detections. Skipped windows are included in Windows.
+	Skipped int64
 	// EBBI is time spent latching events into the frame.
 	EBBI time.Duration
 	// Filter is time spent in the binary median (the Finish call).
@@ -88,6 +104,7 @@ type StageTimings struct {
 func (t StageTimings) Add(o StageTimings) StageTimings {
 	return StageTimings{
 		Windows:     t.Windows + o.Windows,
+		Skipped:     t.Skipped + o.Skipped,
 		EBBI:        t.EBBI + o.EBBI,
 		Filter:      t.Filter + o.Filter,
 		RPN:         t.RPN + o.RPN,
@@ -122,15 +139,37 @@ type Config struct {
 	// cost-model accounting path — instead of the packed word-parallel
 	// fast path. Tracking output is bit-identical either way.
 	Reference bool
+	// SkipEventsBelow enables the near-empty window fast path: a window
+	// whose in-array event count is below this threshold bypasses the
+	// median / downsample / proposal stages entirely and reports no
+	// detections (the tracker still steps, so tracks age normally). 0
+	// disables. Thresholds up to LosslessSkipThreshold(MedianP) are
+	// provably lossless — the skipped stages could not have produced any
+	// proposal — while larger values trade recall on faint objects for
+	// per-window cost. The decision uses the same count on both frame
+	// representations, so the packed/byte differential contract holds at
+	// any threshold.
+	SkipEventsBelow int
 }
 
+// LosslessSkipThreshold returns the largest provably lossless
+// SkipEventsBelow for median patch size p: with fewer than floor(p^2/2)+1
+// set pixels in the whole array, no p x p patch can exceed the median
+// threshold, so the filtered frame — and therefore the proposal set — is
+// empty regardless.
+func LosslessSkipThreshold(p int) int { return (p*p)/2 + 1 }
+
 // DefaultConfig returns the paper's full parameter set on the packed fast
-// path.
+// path. The near-empty fast path is on at its lossless threshold for the
+// default patch size; callers lowering MedianP below the default should
+// re-derive SkipEventsBelow.
 func DefaultConfig() Config {
+	e := ebbi.DefaultConfig()
 	return Config{
-		EBBI:    ebbi.DefaultConfig(),
-		RPN:     rpn.DefaultConfig(),
-		Tracker: tracker.DefaultConfig(),
+		EBBI:            e,
+		RPN:             rpn.DefaultConfig(),
+		Tracker:         tracker.DefaultConfig(),
+		SkipEventsBelow: LosslessSkipThreshold(e.MedianP),
 	}
 }
 
@@ -148,7 +187,10 @@ type frontend struct {
 	pbuilder *ebbi.PackedBuilder // packed word-parallel fast path
 	proposer *rpn.Proposer
 	mask     *roe.Mask
-	timings  StageTimings
+	// skipBelow is the near-empty window threshold (0 = disabled); see
+	// Config.SkipEventsBelow.
+	skipBelow int
+	timings   StageTimings
 
 	// lastFrame / lastPacked retain the most recent frame for
 	// visualisation; valid when lastValid.
@@ -160,12 +202,15 @@ type frontend struct {
 	rawScratch, filtScratch *imgproc.Bitmap
 }
 
-func newFrontend(ecfg ebbi.Config, rcfg rpn.Config, mask *roe.Mask, reference bool) (*frontend, error) {
+func newFrontend(ecfg ebbi.Config, rcfg rpn.Config, mask *roe.Mask, reference bool, skipBelow int) (*frontend, error) {
+	if skipBelow < 0 {
+		return nil, fmt.Errorf("core: skip-events-below must be non-negative, got %d", skipBelow)
+	}
 	p, err := rpn.New(rcfg)
 	if err != nil {
 		return nil, fmt.Errorf("core: %w", err)
 	}
-	f := &frontend{proposer: p, mask: mask}
+	f := &frontend{proposer: p, mask: mask, skipBelow: skipBelow}
 	if reference {
 		f.builder, err = ebbi.NewBuilder(ecfg)
 	} else {
@@ -186,6 +231,18 @@ func (f *frontend) process(evs []events.Event) (rpn.Result, error) {
 	if f.pbuilder != nil {
 		f.pbuilder.Accumulate(evs)
 		t1 := time.Now()
+		if f.skipBelow > 0 && f.pbuilder.Pending() < f.skipBelow {
+			// Near-empty window: drop the frame without filtering. The
+			// window still counts (and the caller still steps the
+			// tracker); the activity accounting only covers processed
+			// windows. The skip decision reads the same in-array count as
+			// the byte path below, keeping the representations aligned.
+			f.pbuilder.SkipWindow()
+			f.timings.EBBI += t1.Sub(t0)
+			f.timings.Windows++
+			f.timings.Skipped++
+			return rpn.Result{}, nil
+		}
 		frame, err := f.pbuilder.Finish()
 		if err != nil {
 			return rpn.Result{}, fmt.Errorf("core: ebbi: %w", err)
@@ -213,6 +270,13 @@ func (f *frontend) process(evs []events.Event) (rpn.Result, error) {
 	} else {
 		f.builder.Accumulate(evs)
 		t1 := time.Now()
+		if f.skipBelow > 0 && f.builder.Pending() < f.skipBelow {
+			f.builder.SkipWindow()
+			f.timings.EBBI += t1.Sub(t0)
+			f.timings.Windows++
+			f.timings.Skipped++
+			return rpn.Result{}, nil
+		}
 		frame, err := f.builder.Finish()
 		if err != nil {
 			return rpn.Result{}, fmt.Errorf("core: ebbi: %w", err)
@@ -249,7 +313,10 @@ func (f *frontend) trackTime(d time.Duration) { f.timings.Track += d }
 // front end is indistinguishable from a freshly built one. Cumulative stage
 // timings deliberately survive so monitoring reads continuous totals across
 // reconfigurations. On error nothing is mutated.
-func (f *frontend) reconfigure(ecfg ebbi.Config, rcfg rpn.Config, mask *roe.Mask, reference bool) error {
+func (f *frontend) reconfigure(ecfg ebbi.Config, rcfg rpn.Config, mask *roe.Mask, reference bool, skipBelow int) error {
+	if skipBelow < 0 {
+		return fmt.Errorf("core: skip-events-below must be non-negative, got %d", skipBelow)
+	}
 	if err := ecfg.Validate(); err != nil {
 		return fmt.Errorf("core: %w", err)
 	}
@@ -288,6 +355,7 @@ func (f *frontend) reconfigure(ecfg ebbi.Config, rcfg rpn.Config, mask *roe.Mask
 		return fmt.Errorf("core: %w", err)
 	}
 	f.mask = mask
+	f.skipBelow = skipBelow
 	f.lastValid = false
 	return nil
 }
@@ -341,6 +409,7 @@ type EBBIOT struct {
 
 var _ System = (*EBBIOT)(nil)
 var _ StageTimer = (*EBBIOT)(nil)
+var _ WindowBatcher = (*EBBIOT)(nil)
 
 // NewEBBIOT builds the pipeline.
 func NewEBBIOT(cfg Config) (*EBBIOT, error) {
@@ -348,7 +417,7 @@ func NewEBBIOT(cfg Config) (*EBBIOT, error) {
 	if err != nil {
 		return nil, fmt.Errorf("core: %w", err)
 	}
-	front, err := newFrontend(cfg.EBBI, cfg.RPN, cfg.Tracker.ROE, cfg.Reference)
+	front, err := newFrontend(cfg.EBBI, cfg.RPN, cfg.Tracker.ROE, cfg.Reference, cfg.SkipEventsBelow)
 	if err != nil {
 		return nil, err
 	}
@@ -376,7 +445,7 @@ func (e *EBBIOT) ApplyParams(cfg Config) error {
 	if err != nil {
 		return fmt.Errorf("core: %w", err)
 	}
-	if err := e.front.reconfigure(cfg.EBBI, cfg.RPN, cfg.Tracker.ROE, cfg.Reference); err != nil {
+	if err := e.front.reconfigure(cfg.EBBI, cfg.RPN, cfg.Tracker.ROE, cfg.Reference, cfg.SkipEventsBelow); err != nil {
 		return err
 	}
 	e.tracker = tr
@@ -399,6 +468,22 @@ func (e *EBBIOT) ProcessWindow(evs []events.Event) ([]geometry.Box, error) {
 	out := make([]geometry.Box, len(reports))
 	for i, r := range reports {
 		out[i] = r.Box
+	}
+	return out, nil
+}
+
+// ProcessWindowBatch implements WindowBatcher: the windows are processed in
+// order through the same fused frame chain as ProcessWindow, with per-window
+// results bit-identical to the unbatched calls. Auxiliary accessors
+// (LastFrame, LastRPN) reflect the final window of the batch.
+func (e *EBBIOT) ProcessWindowBatch(wins [][]events.Event) ([][]geometry.Box, error) {
+	out := make([][]geometry.Box, len(wins))
+	for i, evs := range wins {
+		boxes, err := e.ProcessWindow(evs)
+		if err != nil {
+			return nil, fmt.Errorf("core: batch window %d: %w", i, err)
+		}
+		out[i] = boxes
 	}
 	return out, nil
 }
@@ -436,6 +521,7 @@ type EBBIKF struct {
 
 var _ System = (*EBBIKF)(nil)
 var _ StageTimer = (*EBBIKF)(nil)
+var _ WindowBatcher = (*EBBIKF)(nil)
 
 // KFConfig parameterises the EBBI+KF pipeline.
 type KFConfig struct {
@@ -448,15 +534,20 @@ type KFConfig struct {
 	ROEMaxCover float64
 	// Reference selects the byte-per-pixel frame chain (see Config).
 	Reference bool
+	// SkipEventsBelow enables the near-empty window fast path (see
+	// Config.SkipEventsBelow).
+	SkipEventsBelow int
 }
 
 // DefaultKFConfig returns the comparison configuration.
 func DefaultKFConfig() KFConfig {
+	e := ebbi.DefaultConfig()
 	return KFConfig{
-		EBBI:        ebbi.DefaultConfig(),
-		RPN:         rpn.DefaultConfig(),
-		Tracker:     kalman.DefaultConfig(),
-		ROEMaxCover: 0.5,
+		EBBI:            e,
+		RPN:             rpn.DefaultConfig(),
+		Tracker:         kalman.DefaultConfig(),
+		ROEMaxCover:     0.5,
+		SkipEventsBelow: LosslessSkipThreshold(e.MedianP),
 	}
 }
 
@@ -466,7 +557,7 @@ func NewEBBIKF(cfg KFConfig) (*EBBIKF, error) {
 	if err != nil {
 		return nil, fmt.Errorf("core: %w", err)
 	}
-	front, err := newFrontend(cfg.EBBI, cfg.RPN, cfg.ROE, cfg.Reference)
+	front, err := newFrontend(cfg.EBBI, cfg.RPN, cfg.ROE, cfg.Reference, cfg.SkipEventsBelow)
 	if err != nil {
 		return nil, err
 	}
@@ -488,7 +579,7 @@ func (e *EBBIKF) ApplyParams(cfg KFConfig) error {
 	if err != nil {
 		return fmt.Errorf("core: %w", err)
 	}
-	if err := e.front.reconfigure(cfg.EBBI, cfg.RPN, cfg.ROE, cfg.Reference); err != nil {
+	if err := e.front.reconfigure(cfg.EBBI, cfg.RPN, cfg.ROE, cfg.Reference, cfg.SkipEventsBelow); err != nil {
 		return err
 	}
 	e.tracker = tr
@@ -524,6 +615,20 @@ func (e *EBBIKF) ProcessWindow(evs []events.Event) ([]geometry.Box, error) {
 	out := make([]geometry.Box, len(reports))
 	for i, r := range reports {
 		out[i] = r.Box
+	}
+	return out, nil
+}
+
+// ProcessWindowBatch implements WindowBatcher; see
+// EBBIOT.ProcessWindowBatch for the batch contract.
+func (e *EBBIKF) ProcessWindowBatch(wins [][]events.Event) ([][]geometry.Box, error) {
+	out := make([][]geometry.Box, len(wins))
+	for i, evs := range wins {
+		boxes, err := e.ProcessWindow(evs)
+		if err != nil {
+			return nil, fmt.Errorf("core: batch window %d: %w", i, err)
+		}
+		out[i] = boxes
 	}
 	return out, nil
 }

@@ -180,6 +180,20 @@ func (b *Builder) Finish() (Frame, error) {
 	return f, nil
 }
 
+// Pending returns the number of in-array events accumulated into the
+// current (unfinished) frame. It mirrors PackedBuilder.Pending so the skip
+// decision is identical on both representations.
+func (b *Builder) Pending() int { return b.count }
+
+// SkipWindow advances the frame clock without filtering, discarding the
+// accumulated raw bits via the deferred clear. See
+// PackedBuilder.SkipWindow for the losslessness argument.
+func (b *Builder) SkipWindow() {
+	b.frameIdx++
+	b.count = 0
+	b.needsClear = true
+}
+
 // BuildAll converts a sorted event stream into frames, invoking yield for
 // each. The frame passed to yield aliases internal buffers; copy if kept.
 // This is the whole-recording convenience path; streaming pipelines drive

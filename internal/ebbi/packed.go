@@ -184,3 +184,21 @@ func (b *PackedBuilder) Finish() (PackedFrame, error) {
 	b.needsClear = true
 	return f, nil
 }
+
+// Pending returns the number of in-array events accumulated into the
+// current (unfinished) frame — the quantity the near-empty window fast
+// path thresholds on before deciding to Finish.
+func (b *PackedBuilder) Pending() int { return b.count }
+
+// SkipWindow advances the frame clock without filtering: the accumulated
+// raw bits are discarded by the usual deferred clear and no frame is
+// produced. When the pending event count is at or below floor(MedianP^2/2)
+// the median output would be all-zero — no patch can exceed the threshold —
+// so skipping is bit-identical to a Finish whose frame produces no
+// proposals; callers use this to bypass the whole filter/proposal chain on
+// near-empty windows.
+func (b *PackedBuilder) SkipWindow() {
+	b.frameIdx++
+	b.count = 0
+	b.needsClear = true
+}

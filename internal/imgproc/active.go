@@ -196,4 +196,3 @@ func (a *ActiveRegion) CoverageWords() int {
 // FrameWords returns the total word count of the tracked frame — the
 // denominator of the active-pixel fraction.
 func (a *ActiveRegion) FrameWords() int { return a.stride * a.h }
-

@@ -47,6 +47,14 @@ func rangedKernelCase(t *testing.T, src *PackedBitmap, ar *ActiveRegion, p, s1, 
 	if !got.Equal(want) {
 		t.Fatalf("ranged median != full (w=%d h=%d p=%d)\nfull:\n%s\nranged:\n%s", w, h, p, want, got)
 	}
+	// The sliding-column fallback no longer sits on any dispatch path for
+	// p <= 63, so pin it explicitly against the same oracle.
+	sld := NewPackedBitmap(w, h)
+	garbageFill(sld)
+	packedMedianSlidingRange(sld, src, p, ar)
+	if !sld.Equal(want) {
+		t.Fatalf("sliding median != full (w=%d h=%d p=%d)\nfull:\n%s\nsliding:\n%s", w, h, p, want, sld)
+	}
 
 	wantDS, err := PackedDownsampleInto(nil, src, s1, s2)
 	if err != nil {
@@ -121,6 +129,41 @@ func TestRangedKernelsSparsityLevels(t *testing.T) {
 				p.Set(x, y)
 			}
 		}
+	})
+	add("two-blobs-same-rows", func(p *PackedBitmap) {
+		// Disjoint word masks on the same rows: per-word halo bounding must
+		// keep each blob's columns from paying for — or corrupting — the
+		// other's words.
+		for y := 80; y < 96; y++ {
+			for x := 10; x < 30; x++ {
+				p.Set(x, y)
+			}
+			for x := 150; x < 170; x++ {
+				p.Set(x, y)
+			}
+		}
+	})
+	add("two-blobs-offset-words", func(p *PackedBitmap) {
+		// Vertically overlapping blobs in adjacent words with offset row
+		// spans: the vertical neighbour-mask OR must widen each row's word
+		// set exactly enough for the shared rows.
+		for y := 50; y < 61; y++ {
+			for x := 70; x < 90; x++ {
+				p.Set(x, y)
+			}
+		}
+		for y := 55; y < 66; y++ {
+			for x := 130; x < 150; x++ {
+				p.Set(x, y)
+			}
+		}
+	})
+	add("word-sparse-row", func(p *PackedBitmap) {
+		// Isolated pixels in non-adjacent words of one row: the run
+		// iteration must seed and flush its rolling planes per word run.
+		p.Set(5, 90)
+		p.Set(70, 90)
+		p.Set(200, 90)
 	})
 	add("border-saturated", func(p *PackedBitmap) {
 		for x := 0; x < w; x++ {

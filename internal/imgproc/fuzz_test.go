@@ -18,6 +18,23 @@ func FuzzPackedKernels(f *testing.F) {
 	f.Add(uint8(65), uint8(2), uint8(31), uint8(31), []byte{0x80, 0x01})
 	f.Add(uint8(1), uint8(4), uint8(0), uint8(0), []byte{1})
 	f.Add(uint8(127), uint8(3), uint8(63), uint8(2), []byte{0xaa, 0x55, 0xaa, 0x55, 0xaa, 0x55})
+	// Multi-blob seeds: dense clusters separated by long all-zero gaps, so
+	// rows carry disjoint dirty-word masks and the per-word-bounded median
+	// starts from runs that begin and end mid-row.
+	multi := make([]byte, 600)
+	for i := 0; i < 8; i++ {
+		multi[i] = 0xff
+		multi[300+i] = 0xff
+	}
+	f.Add(uint8(200), uint8(1), uint8(5), uint8(2), multi)
+	f.Add(uint8(200), uint8(2), uint8(5), uint8(2), multi)
+	three := make([]byte, 900)
+	for i := 0; i < 4; i++ {
+		three[i] = 0x0f
+		three[420+i] = 0xff
+		three[880+i] = 0xf0
+	}
+	f.Add(uint8(130), uint8(2), uint8(6), uint8(3), three)
 	f.Fuzz(func(t *testing.T, wRaw, pRaw, s1Raw, s2Raw uint8, pix []byte) {
 		w := int(wRaw)%200 + 1
 		h := len(pix)/w + 1
@@ -119,6 +136,15 @@ func FuzzPackedKernels(f *testing.F) {
 			}
 			if !pdstR.Equal(pdst) {
 				t.Fatalf("ranged median != full (w=%d h=%d p=%d)", w, h, p)
+			}
+			checkTailInvariant(t, pdstR)
+			// The sliding-column fallback is off every p <= 63 dispatch
+			// path now; fuzz it against the same oracle so it stays a
+			// trustworthy baseline.
+			garbageFill(pdstR)
+			packedMedianSlidingRange(pdstR, psrc, p, ar)
+			if !pdstR.Equal(pdst) {
+				t.Fatalf("sliding median != full (w=%d h=%d p=%d)", w, h, p)
 			}
 			checkTailInvariant(t, pdstR)
 			gotDSR, err := PackedDownsampleIntoRange(nil, psrc, s1, s2, ar)

@@ -1,6 +1,7 @@
 package imgproc
 
 import (
+	"fmt"
 	"math/rand"
 	"testing"
 )
@@ -195,30 +196,40 @@ func benchScenes() []struct {
 	}
 }
 
-// BenchmarkMedianPackedSparsity measures the median filter with and
-// without the active region across sparsity levels; "full" is the
-// full-frame kernel, "ranged" consumes the frame's exact dirty region (the
-// state accumulate-time tracking maintains).
+// BenchmarkMedianPackedSparsity measures the median filter across patch
+// sizes and sparsity levels: "full" is the bit-sliced kernel without a
+// region, "ranged" consumes the frame's exact dirty region (the state
+// accumulate-time tracking maintains), and "sliding" pins the retired
+// sliding-column fallback at the same region as the comparison baseline.
 func BenchmarkMedianPackedSparsity(b *testing.B) {
 	for _, sc := range benchScenes() {
 		ar := regionFor(sc.src)
 		dst := NewPackedBitmap(240, 180)
-		b.Run(sc.name+"/full", func(b *testing.B) {
-			b.ReportAllocs()
-			for i := 0; i < b.N; i++ {
-				if err := PackedMedianFilter(dst, sc.src, 3); err != nil {
-					b.Fatal(err)
+		for _, p := range []int{3, 5} {
+			p := p
+			b.Run(sc.name+"/"+benchP(p)+"/full", func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					if err := PackedMedianFilter(dst, sc.src, p); err != nil {
+						b.Fatal(err)
+					}
 				}
-			}
-		})
-		b.Run(sc.name+"/ranged", func(b *testing.B) {
-			b.ReportAllocs()
-			for i := 0; i < b.N; i++ {
-				if err := PackedMedianFilterRange(dst, sc.src, 3, ar); err != nil {
-					b.Fatal(err)
+			})
+			b.Run(sc.name+"/"+benchP(p)+"/ranged", func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					if err := PackedMedianFilterRange(dst, sc.src, p, ar); err != nil {
+						b.Fatal(err)
+					}
 				}
-			}
-		})
+			})
+			b.Run(sc.name+"/"+benchP(p)+"/sliding", func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					packedMedianSlidingRange(dst, sc.src, p, ar)
+				}
+			})
+		}
 	}
 }
 
@@ -265,6 +276,41 @@ func BenchmarkCCAPackedSparsity(b *testing.B) {
 				PackedConnectedComponentsRegion(sc.src, ar)
 			}
 		})
+	}
+}
+
+// BenchmarkPackedChainBatch is the kernel-level view of pipeline window
+// batching: one op runs the fused median + downsample/histogram chain over
+// a batch of contiguous frames back-to-back, so call dispatch and scratch
+// reuse amortize exactly as they do when pipeline.Runner hands a System a
+// window batch. ns/op scales with the batch size; the reported ns/frame
+// metric is the amortized per-frame cost to compare across batch sizes.
+func BenchmarkPackedChainBatch(b *testing.B) {
+	for _, sc := range benchScenes() {
+		ar := regionFor(sc.src)
+		dst := NewPackedBitmap(240, 180)
+		var hx, hy []int
+		var err error
+		for _, batch := range []int{1, 4, 16} {
+			batch := batch
+			b.Run(fmt.Sprintf("%s/batch=%d", sc.name, batch), func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					for j := 0; j < batch; j++ {
+						if err = PackedMedianFilterRange(dst, sc.src, 3, ar); err != nil {
+							b.Fatal(err)
+						}
+						// The raw frame's dirty region is a superset of the
+						// filtered output's, so it bounds the fused
+						// histogram pass too.
+						if hx, hy, err = PackedHistogramsIntoRange(hx, hy, dst, 6, 3, ar); err != nil {
+							b.Fatal(err)
+						}
+					}
+				}
+				b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*batch), "ns/frame")
+			})
+		}
 	}
 }
 

@@ -1,0 +1,83 @@
+package pipeline
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"ebbiot/internal/core"
+	"ebbiot/internal/events"
+	"ebbiot/internal/scene"
+	"ebbiot/internal/sensor"
+)
+
+// batchRun drives one stream through a Runner at the given batch size and
+// returns the snapshots in arrival order.
+func batchRun(t *testing.T, mkSystem func() core.System, batch int) []TrackSnapshot {
+	t.Helper()
+	sc := scene.SingleObjectScene(events.DAVIS240, 2_000_000)
+	sim, err := sensor.New(sensor.DefaultConfig(42), sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, err := NewSceneSource(sim, sc.DurationUS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewRunner(Config{FrameUS: 66_000, Batch: batch})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []TrackSnapshot
+	sink := SinkFunc(func(snap TrackSnapshot) error {
+		snap.ProcUS = 0 // wall-clock differs run to run
+		got = append(got, snap)
+		return nil
+	})
+	if _, err := r.Run(context.Background(), []Stream{{Source: src, System: mkSystem()}}, sink); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) == 0 {
+		t.Fatal("no snapshots")
+	}
+	return got
+}
+
+// TestRunnerBatchDeterministic holds the batched window loop to the
+// unbatched one: for every batch size — including sizes that don't divide
+// the window count, and one larger than the whole stream — the per-window
+// snapshots must be identical. Runs once with EBBIOT (the WindowBatcher
+// path) and once with a System lacking ProcessWindowBatch (the fallback
+// loop, whose boxes encode each window's event count and so also verify the
+// per-window event copies out of the Windower's recycled buffer).
+func TestRunnerBatchDeterministic(t *testing.T) {
+	systems := map[string]func() core.System{
+		"ebbiot": func() core.System {
+			sys, err := core.NewEBBIOT(core.DefaultConfig())
+			if err != nil {
+				t.Fatal(err)
+			}
+			return sys
+		},
+		"nonbatcher": func() core.System { return &fakeSystem{name: "fake"} },
+	}
+	for name, mk := range systems {
+		t.Run(name, func(t *testing.T) {
+			want := batchRun(t, mk, 1)
+			for _, batch := range []int{2, 3, 8, 1000} {
+				got := batchRun(t, mk, batch)
+				if !reflect.DeepEqual(got, want) {
+					t.Errorf("batch=%d: snapshots diverge from unbatched run", batch)
+				}
+			}
+		})
+	}
+}
+
+// TestRunnerBatchValidation covers the config-time rejection of negative
+// batch sizes.
+func TestRunnerBatchValidation(t *testing.T) {
+	if _, err := NewRunner(Config{FrameUS: 66_000, Batch: -1}); err == nil {
+		t.Error("negative Batch accepted")
+	}
+}

@@ -45,6 +45,7 @@ import (
 	"time"
 
 	"ebbiot/internal/core"
+	"ebbiot/internal/events"
 	"ebbiot/internal/geometry"
 )
 
@@ -118,6 +119,17 @@ type Config struct {
 	// QueueDepth bounds the fan-in channel; 0 means 2 per worker. Smaller
 	// values tighten backpressure, larger ones decouple bursty sinks.
 	QueueDepth int
+	// Batch is the number of contiguous windows pulled and processed per
+	// stream iteration; 0 or 1 means one window at a time. Batching
+	// amortizes per-window dispatch — the tuner check, stage-timing
+	// publication, and (for systems implementing core.WindowBatcher) the
+	// ProcessWindow call overhead — over Batch windows, at the cost of
+	// coarser control: live tF retunes and parameter changes land at batch
+	// boundaries instead of every window, and per-window snapshots are
+	// published only after the whole batch completes (so paced/latency-
+	// sensitive runs should keep Batch small). Tracking output is identical
+	// at any batch size.
+	Batch int
 }
 
 // Stats summarises a run.
@@ -170,6 +182,9 @@ func NewRunner(cfg Config) (*Runner, error) {
 	}
 	if cfg.QueueDepth < 0 {
 		return nil, fmt.Errorf("pipeline: negative queue depth %d", cfg.QueueDepth)
+	}
+	if cfg.Batch < 0 {
+		return nil, fmt.Errorf("pipeline: negative batch size %d", cfg.Batch)
 	}
 	return &Runner{cfg: cfg}, nil
 }
@@ -309,7 +324,12 @@ dispatch:
 func (r *Runner) Status() *RunStatus { return r.status.Load() }
 
 // runStream drives one stream's window loop to exhaustion, publishing
-// progress into ss between windows.
+// progress into ss between windows. With cfg.Batch > 1 it pulls up to Batch
+// contiguous windows per iteration — copying each window's events out of the
+// Windower's recycled buffer — and hands them to the System in a single
+// ProcessWindowBatch call when it implements core.WindowBatcher, so the
+// tuner check, stage-timing publication and dispatch overhead amortize
+// across the batch. Per-window snapshots are still emitted in order.
 func (r *Runner) runStream(ctx context.Context, idx int, st *Stream, results chan<- TrackSnapshot, ss *StreamStatus) error {
 	name := ss.Name()
 	w, err := NewWindower(st.Source, r.cfg.FrameUS)
@@ -317,12 +337,47 @@ func (r *Runner) runStream(ctx context.Context, idx int, st *Stream, results cha
 		return fmt.Errorf("pipeline: %s: %w", name, err)
 	}
 	defer w.Close()
+	// emit publishes one finished window: observer first (it may fail the
+	// run), then the fan-in send.
+	emit := func(snap TrackSnapshot) error {
+		if st.Observer != nil {
+			if err := st.Observer(snap, st.System); err != nil {
+				return fmt.Errorf("pipeline: %s: observer: %w", name, err)
+			}
+		}
+		select {
+		case results <- snap:
+			return nil
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+	batch := r.cfg.Batch
+	if batch < 1 {
+		batch = 1
+	}
+	type windowMeta struct {
+		frame      int
+		start, end int64
+	}
+	// Per-batch scratch, reused across iterations. Events are copied out of
+	// the Windower because it owns a single buffer that the next Next call
+	// overwrites; batching needs the whole batch's windows alive at once.
+	var (
+		bufs  [][]events.Event
+		metas []windowMeta
+	)
+	if batch > 1 {
+		bufs = make([][]events.Event, batch)
+		metas = make([]windowMeta, 0, batch)
+	}
 	for {
 		if err := ctx.Err(); err != nil {
 			return err
 		}
 		// Window boundary: let the control plane retune tF or reconfigure
-		// the System before the next window is pulled.
+		// the System before the next window (or batch of windows) is
+		// pulled; at Batch > 1 live changes land every Batch windows.
 		if st.Tuner != nil {
 			frameUS, version, err := st.Tuner.Tune(idx, st.System)
 			if err != nil {
@@ -335,45 +390,97 @@ func (r *Runner) runStream(ctx context.Context, idx int, st *Stream, results cha
 			}
 			ss.setTuning(frameUS, version)
 		}
-		frame := w.Frame()
-		win, err := w.Next()
-		if err == io.EOF {
+		if batch == 1 {
+			// Unbatched fast path: process the Windower's buffer in place,
+			// no copy.
+			frame := w.Frame()
+			win, err := w.Next()
+			if err == io.EOF {
+				return nil
+			}
+			if err != nil {
+				return fmt.Errorf("pipeline: %s: %w", name, err)
+			}
+			procStart := time.Now()
+			reported, err := st.System.ProcessWindow(win.Events)
+			if err != nil {
+				return fmt.Errorf("pipeline: %s: %s: %w", name, st.System.Name(), err)
+			}
+			snap := TrackSnapshot{
+				Sensor:  idx,
+				Name:    name,
+				Frame:   frame,
+				StartUS: win.Start,
+				EndUS:   win.End,
+				Events:  len(win.Events),
+				ProcUS:  time.Since(procStart).Microseconds(),
+				// Deep copy: the System's slice is fresh per the core.System
+				// contract, but copying here makes the snapshot safe even for
+				// systems that violate it.
+				Boxes: append([]geometry.Box(nil), reported...),
+			}
+			ss.record(snap)
+			if timer, ok := st.System.(core.StageTimer); ok {
+				ss.setStages(timer.StageTimings())
+			}
+			if err := emit(snap); err != nil {
+				return err
+			}
+			continue
+		}
+		// Batched path: pull up to batch windows (fewer at stream end).
+		metas = metas[:0]
+		n := 0
+		for n < batch {
+			frame := w.Frame()
+			win, err := w.Next()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				return fmt.Errorf("pipeline: %s: %w", name, err)
+			}
+			bufs[n] = append(bufs[n][:0], win.Events...)
+			metas = append(metas, windowMeta{frame: frame, start: win.Start, end: win.End})
+			n++
+		}
+		if n == 0 {
 			return nil
 		}
-		if err != nil {
-			return fmt.Errorf("pipeline: %s: %w", name, err)
-		}
 		procStart := time.Now()
-		reported, err := st.System.ProcessWindow(win.Events)
+		var reported [][]geometry.Box
+		if wb, ok := st.System.(core.WindowBatcher); ok {
+			reported, err = wb.ProcessWindowBatch(bufs[:n])
+		} else {
+			reported = make([][]geometry.Box, n)
+			for i := 0; i < n && err == nil; i++ {
+				reported[i], err = st.System.ProcessWindow(bufs[i])
+			}
+		}
 		if err != nil {
 			return fmt.Errorf("pipeline: %s: %s: %w", name, st.System.Name(), err)
 		}
-		snap := TrackSnapshot{
-			Sensor:  idx,
-			Name:    name,
-			Frame:   frame,
-			StartUS: win.Start,
-			EndUS:   win.End,
-			Events:  len(win.Events),
-			ProcUS:  time.Since(procStart).Microseconds(),
-			// Deep copy: the System's slice is fresh per the core.System
-			// contract, but copying here makes the snapshot safe even for
-			// systems that violate it.
-			Boxes: append([]geometry.Box(nil), reported...),
-		}
-		ss.record(snap)
+		// The batch is timed as a whole, so each window reports the batch
+		// mean processing time.
+		perUS := time.Since(procStart).Microseconds() / int64(n)
 		if timer, ok := st.System.(core.StageTimer); ok {
 			ss.setStages(timer.StageTimings())
 		}
-		if st.Observer != nil {
-			if err := st.Observer(snap, st.System); err != nil {
-				return fmt.Errorf("pipeline: %s: observer: %w", name, err)
+		for i := 0; i < n; i++ {
+			snap := TrackSnapshot{
+				Sensor:  idx,
+				Name:    name,
+				Frame:   metas[i].frame,
+				StartUS: metas[i].start,
+				EndUS:   metas[i].end,
+				Events:  len(bufs[i]),
+				ProcUS:  perUS,
+				Boxes:   append([]geometry.Box(nil), reported[i]...),
 			}
-		}
-		select {
-		case results <- snap:
-		case <-ctx.Done():
-			return ctx.Err()
+			ss.record(snap)
+			if err := emit(snap); err != nil {
+				return err
+			}
 		}
 	}
 }

@@ -108,11 +108,15 @@ type StreamSnapshot struct {
 
 // StageSnapshot is the JSON view of core.StageTimings (totals in µs).
 type StageSnapshot struct {
-	Windows  int64 `json:"windows"`
-	EBBIUS   int64 `json:"ebbi_us"`
-	FilterUS int64 `json:"filter_us"`
-	RPNUS    int64 `json:"rpn_us"`
-	TrackUS  int64 `json:"track_us"`
+	Windows int64 `json:"windows"`
+	// WindowsSkipped counts the windows the near-empty fast path bypassed
+	// (included in Windows); always serialized so consumers can tell "no
+	// skipping configured" from "field absent".
+	WindowsSkipped int64 `json:"windows_skipped"`
+	EBBIUS         int64 `json:"ebbi_us"`
+	FilterUS       int64 `json:"filter_us"`
+	RPNUS          int64 `json:"rpn_us"`
+	TrackUS        int64 `json:"track_us"`
 	// ActivePixelFraction is the mean fraction of the packed frame the
 	// active region marked dirty — the sparsity the activity-bounded
 	// kernels skipped past (1 on the byte reference path). Distinct from
@@ -212,6 +216,7 @@ func (s *StreamStatus) Snapshot(elapsed time.Duration) StreamSnapshot {
 	if s.hasST {
 		snap.Stages = &StageSnapshot{
 			Windows:             s.stages.Windows,
+			WindowsSkipped:      s.stages.Skipped,
 			EBBIUS:              s.stages.EBBI.Microseconds(),
 			FilterUS:            s.stages.Filter.Microseconds(),
 			RPNUS:               s.stages.RPN.Microseconds(),

@@ -29,6 +29,9 @@ echo "$STATS" | grep -q '"name": "sensor0"'
 echo "--- stream by id"
 curl -fsS "http://$ADDR/streams/0" | grep -q '"state": "running"'
 curl -fsS "http://$ADDR/streams/sensor0" | grep -q '"sensor": 0'
+# The near-empty fast-path counter is part of the stage timings and must be
+# serialized even while zero (the busy smoke scene skips nothing).
+curl -fsS "http://$ADDR/streams/sensor0" | grep -q '"windows_skipped"'
 
 echo "--- params GET"
 curl -fsS "http://$ADDR/params" | grep -q '"version": 1'
@@ -47,6 +50,7 @@ sleep 1  # let the retune land at a window boundary
 METRICS=$(curl -fsS "http://$ADDR/metrics")
 echo "$METRICS" | grep -q '^ebbiot_param_version 2'
 echo "$METRICS" | grep -q '^ebbiot_windows_total{stream="sensor0"}'
+echo "$METRICS" | grep -q '^ebbiot_windows_skipped_total{stream="sensor0"}'
 echo "$METRICS" | grep -q '^ebbiot_frame_us{stream="sensor0"} 33000'
 
 echo "--- clean exit"
