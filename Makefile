@@ -12,7 +12,7 @@ BENCHCOUNT ?= 1
 SHELL := /bin/bash
 .SHELLFLAGS := -o pipefail -ec
 
-.PHONY: build test race bench bench-store bench-imgproc bench-json bench-compare bench-gate vet check smoke-control
+.PHONY: build test race bench bench-store bench-imgproc bench-json bench-compare bench-gate vet check smoke-control smoke-ingest
 
 build:
 	$(GO) build ./...
@@ -94,5 +94,14 @@ vet:
 smoke-control:
 	$(GO) build -o bin/ ./cmd/ebbiot-run
 	./scripts/smoke-control.sh
+
+# End-to-end network-ingest smoke (also run by CI): ebbiot-run as a
+# two-stream ingest server, a bad-token sender rejected, each stream fed a
+# deterministic recording over loopback TCP by ebbiot-gen -send, the
+# per-stream ingest counters probed over HTTP mid-run, and a lossless
+# clean exit required.
+smoke-ingest:
+	$(GO) build -o bin/ ./cmd/ebbiot-run ./cmd/ebbiot-gen
+	./scripts/smoke-ingest.sh
 
 check: build vet test

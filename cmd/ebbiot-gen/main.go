@@ -5,10 +5,19 @@
 // Usage:
 //
 //	ebbiot-gen -preset ENG -scale 0.01 -seed 1 -out eng.aer [-gt eng_gt.csv]
+//	ebbiot-gen -preset ENG -scale 0.01 -send HOST:PORT -stream cam0 [-token T]
 //
 // At -scale 1 the ENG preset emits the full 2998.4 s / ~10^8-event
 // recording; small scales produce statistically identical but shorter
 // replicas.
+//
+// With -send the recording is streamed to an `ebbiot-run -listen` ingest
+// server over the framed TCP wire protocol (docs/INGEST.md) instead of (or
+// in addition to) being written to a file: one batch per -frame-ms chunk,
+// closed with the clean end-of-stream frame. Because generation is
+// deterministic, sending the same preset/scale/seed twice replays the
+// identical event stream — the network counterpart of replaying an AER
+// file.
 package main
 
 import (
@@ -20,6 +29,7 @@ import (
 	"ebbiot/internal/aedat"
 	"ebbiot/internal/annot"
 	"ebbiot/internal/dataset"
+	"ebbiot/internal/ingest"
 )
 
 func main() {
@@ -33,13 +43,16 @@ func run() error {
 	presetName := flag.String("preset", "ENG", "recording preset: ENG or LT4")
 	scale := flag.Float64("scale", 0.01, "duration scale in (0,1]; 1 = full Table I length")
 	seed := flag.Uint64("seed", 1, "generator seed")
-	out := flag.String("out", "", "output AER file (required)")
+	out := flag.String("out", "", "output AER file (required unless -send is given)")
 	gtPath := flag.String("gt", "", "optional ground-truth CSV output")
 	frameMS := flag.Int64("frame-ms", 66, "generation chunk size in milliseconds")
+	send := flag.String("send", "", "stream the recording to an ebbiot-run -listen ingest server at this address")
+	streamID := flag.String("stream", "cam0", "stream ID presented in the ingest handshake with -send")
+	token := flag.String("token", "", "shared-secret token for the ingest handshake with -send")
 	flag.Parse()
 
-	if *out == "" {
-		return fmt.Errorf("-out is required")
+	if *out == "" && *send == "" {
+		return fmt.Errorf("one of -out or -send is required")
 	}
 	var preset dataset.Preset
 	switch strings.ToUpper(*presetName) {
@@ -59,16 +72,34 @@ func run() error {
 		return err
 	}
 
-	f, err := os.Create(*out)
-	if err != nil {
-		return err
+	var w *aedat.Writer
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w, err = aedat.NewWriter(f, spec.Sensor.Res)
+		if err != nil {
+			return err
+		}
 	}
-	defer f.Close()
-	w, err := aedat.NewWriter(f, spec.Sensor.Res)
-	if err != nil {
-		return err
+	var ds *ingest.DialSink
+	if *send != "" {
+		ds, err = ingest.Dial(*send, ingest.DialConfig{
+			StreamID: *streamID,
+			Token:    *token,
+			Res:      spec.Sensor.Res,
+		})
+		if err != nil {
+			return err
+		}
+		// Abort (disconnect without the EOF frame) if we bail out early, so
+		// the server records a fault instead of waiting for the idle timeout.
+		defer ds.Abort()
 	}
 
+	var sent int64
 	chunk := *frameMS * 1000
 	for cursor := int64(0); cursor < spec.DurationUS; {
 		end := cursor + chunk
@@ -79,13 +110,30 @@ func run() error {
 		if err != nil {
 			return err
 		}
-		if err := w.Append(evs); err != nil {
-			return err
+		if w != nil {
+			if err := w.Append(evs); err != nil {
+				return err
+			}
 		}
+		if ds != nil {
+			if err := ds.Send(evs); err != nil {
+				return err
+			}
+		}
+		sent += int64(len(evs))
 		cursor = end
 	}
-	if err := w.Close(); err != nil {
-		return err
+	if w != nil {
+		if err := w.Close(); err != nil {
+			return err
+		}
+	}
+	if ds != nil {
+		if err := ds.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("%s: sent %d events over %.1f s of recording to %s as stream %q\n",
+			spec.Name, sent, float64(spec.DurationUS)/1e6, *send, *streamID)
 	}
 	if *gtPath != "" {
 		recs, err := annot.FromScene(rec.Scene, chunk, 40)
@@ -101,7 +149,9 @@ func run() error {
 			return err
 		}
 	}
-	fmt.Printf("%s: wrote %d events over %.1f s to %s (%d ground-truth tracks)\n",
-		spec.Name, w.Count(), float64(spec.DurationUS)/1e6, *out, rec.Scene.TrackCount())
+	if w != nil {
+		fmt.Printf("%s: wrote %d events over %.1f s to %s (%d ground-truth tracks)\n",
+			spec.Name, w.Count(), float64(spec.DurationUS)/1e6, *out, rec.Scene.TrackCount())
+	}
 	return nil
 }

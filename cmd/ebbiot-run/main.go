@@ -42,14 +42,27 @@
 // contiguous windows per stream iteration to amortize per-window dispatch,
 // trading live-retune granularity and snapshot latency for throughput.
 //
+// With -listen ADDR the process becomes an `ebbiot-ingest` server instead
+// of reading a local file: it accepts one framed-TCP sensor connection per
+// stream ID named in -streams (see docs/INGEST.md for the wire format),
+// authenticates them against -ingest-token, and applies per-stream
+// backpressure through bounded batch queues whose drop policy is selected
+// with -ingest-policy (block, drop-oldest, drop-newest). Queue drops,
+// duplicate/reordered batches, sequence gaps and transport faults are
+// per-stream counters on /streams/{id} and /metrics; by default a faulted
+// sensor ends its own stream without taking down the rest of the fleet.
+// Replay a recording into it with `ebbiot-gen -send` or any ingest.DialSink.
+//
 // Usage:
 //
-//	ebbiot-run -in eng.aer | -scene MS
+//	ebbiot-run -in eng.aer | -scene MS | -listen ADDR -streams cam0,cam1
 //	           [-system EBBIOT|KF|EBMS] [-frame-ms 66]
 //	           [-sensors N] [-workers M] [-stats stats.csv] [-json]
 //	           [-store dir] [-store-segment-mb 64] [-store-sync 0]
 //	           [-http :8080] [-pace] [-speed 1.0] [-reference]
 //	           [-batch 1] [-skip-threshold -1]
+//	           [-ingest-token T] [-ingest-queue 64] [-ingest-policy block]
+//	           [-ingest-idle-ms 30000] [-ingest-failfast]
 package main
 
 import (
@@ -67,6 +80,7 @@ import (
 	"ebbiot/internal/control"
 	"ebbiot/internal/core"
 	"ebbiot/internal/events"
+	"ebbiot/internal/ingest"
 	"ebbiot/internal/pipeline"
 	"ebbiot/internal/scene"
 	"ebbiot/internal/sensor"
@@ -123,10 +137,23 @@ func run() error {
 	reference := flag.Bool("reference", false, "use the byte-per-pixel reference frame chain instead of the packed word-parallel fast path")
 	batch := flag.Int("batch", 1, "windows pulled and processed per stream iteration; >1 amortizes per-window dispatch but coarsens live retunes and snapshot latency to batch boundaries")
 	skipThresh := flag.Int("skip-threshold", -1, "skip windows with fewer in-array events than this (0 disables, -1 keeps the lossless default floor(p^2/2)+1)")
+	listen := flag.String("listen", "", "ingest server mode: accept framed-TCP sensor connections on this address instead of reading -in/-scene")
+	streamIDs := flag.String("streams", "", "comma-separated stream IDs the ingest server expects (required with -listen)")
+	ingestToken := flag.String("ingest-token", "", "shared-secret token every sensor handshake must present (empty disables auth)")
+	ingestQueue := flag.Int("ingest-queue", 64, "per-stream ingest queue depth in batches")
+	ingestPolicy := flag.String("ingest-policy", "block", "full-queue policy: block (backpressure to the sender), drop-oldest or drop-newest")
+	ingestIdleMS := flag.Int64("ingest-idle-ms", 30000, "per-connection idle timeout in milliseconds; a sensor that stalls longer faults as a stalled writer")
+	ingestFailFast := flag.Bool("ingest-failfast", false, "a faulted sensor stream fails the whole run instead of ending just its own stream")
 	flag.Parse()
 
-	if (*in == "") == (*sceneMS == 0) {
-		return fmt.Errorf("exactly one of -in or -scene is required")
+	modes := 0
+	for _, on := range []bool{*in != "", *sceneMS > 0, *listen != ""} {
+		if on {
+			modes++
+		}
+	}
+	if modes != 1 {
+		return fmt.Errorf("exactly one of -in, -scene or -listen is required")
 	}
 	if *sensors < 1 {
 		return fmt.Errorf("-sensors must be at least 1")
@@ -157,11 +184,57 @@ func run() error {
 
 	// One stream per sensor. A single sensor streams the file incrementally;
 	// replicated sensors decode it once and shard in-memory slices. Scene
-	// mode synthesises one deterministic simulator per sensor.
+	// mode synthesises one deterministic simulator per sensor; listen mode
+	// waits for one network connection per expected stream ID.
+	var ids []string
+	if *listen != "" {
+		for _, id := range strings.Split(*streamIDs, ",") {
+			if id = strings.TrimSpace(id); id != "" {
+				ids = append(ids, id)
+			}
+		}
+		if len(ids) == 0 {
+			return fmt.Errorf("-listen requires -streams with at least one stream id")
+		}
+		if *pace {
+			return fmt.Errorf("-pace does not apply to -listen: network streams already arrive at sensor speed")
+		}
+		*sensors = len(ids)
+	}
 	var streams []pipeline.Stream
 	collectors := make([]trace.Collector, *sensors)
 	var res events.Resolution
+	var ingestSrv *ingest.Server
 	switch {
+	case *listen != "":
+		policy, err := ingest.ParseDropPolicy(*ingestPolicy)
+		if err != nil {
+			return err
+		}
+		res = events.DAVIS240
+		ingestSrv, err = ingest.Listen(*listen, ingest.ServerConfig{
+			Streams:      ids,
+			Token:        *ingestToken,
+			Res:          res,
+			QueueBatches: *ingestQueue,
+			Policy:       policy,
+			FailFast:     *ingestFailFast,
+			IdleTimeout:  time.Duration(*ingestIdleMS) * time.Millisecond,
+			Logf: func(format string, args ...any) {
+				fmt.Fprintf(os.Stderr, format+"\n", args...)
+			},
+		})
+		if err != nil {
+			return err
+		}
+		defer ingestSrv.Close()
+		// SIGINT must unblock streams waiting on quiet connections.
+		context.AfterFunc(ctx, func() { ingestSrv.Close() })
+		fmt.Fprintf(os.Stderr, "ingest server on %s (streams: %s, policy %s, queue %d batches)\n",
+			ingestSrv.Addr(), strings.Join(ids, ","), policy, *ingestQueue)
+		for _, id := range ids {
+			streams = append(streams, pipeline.Stream{Name: id, Source: ingestSrv.Source(id)})
+		}
 	case *sceneMS > 0:
 		res = events.DAVIS240
 		durUS := *sceneMS * 1000
@@ -337,6 +410,25 @@ func run() error {
 			path, *batch, agg.Windows, perUS(agg.EBBI), perUS(agg.Filter), perUS(agg.RPN), perUS(agg.Track), sinkUS,
 			agg.Skipped, 100*float64(agg.Skipped)/float64(agg.Windows),
 			100*agg.MeanActiveFraction())
+	}
+	// Ingest health per stream: what the wire delivered, what policy or
+	// transport shed. A nonzero drop/fault count here is the backpressure
+	// story of the run, not an error.
+	if ingestSrv != nil {
+		if rs := runner.Status(); rs != nil {
+			for _, ss := range rs.Snapshot().PerStream {
+				if ss.Source == nil {
+					continue
+				}
+				src := ss.Source
+				line := fmt.Sprintf("ingest %s: accepted %d batches / %d events; dropped %d batches / %d events; dup %d, gaps %d, faults %d",
+					ss.Name, src.Batches, src.Events, src.DroppedBatches, src.DroppedEvents, src.DupBatches, src.SeqGaps, src.Faults)
+				if src.LastError != "" {
+					line += " (last: " + src.LastError + ")"
+				}
+				fmt.Fprintln(os.Stderr, line)
+			}
+		}
 	}
 	if v := paramStore.Version(); v > 1 {
 		fmt.Fprintf(os.Stderr, "params: finished on version %d (retuned live %d time(s))\n", v, v-1)

@@ -267,4 +267,48 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		func(ss pipeline.StreamSnapshot) string { return strconv.FormatInt(ss.LastBoxes, 10) })
 	emit("ebbiot_frame_us", "Frame period tF in effect.", "gauge",
 		func(ss pipeline.StreamSnapshot) string { return strconv.FormatInt(ss.FrameUS, 10) })
+	emit("ebbiot_source_errors_total", "Source/windower failures per stream.", "counter",
+		func(ss pipeline.StreamSnapshot) string { return strconv.FormatInt(ss.SourceErrors, 10) })
+
+	// Network-ingest counters: emitted only when at least one stream is fed
+	// by a metered source, so local-file runs stay noise-free.
+	hasIngest := false
+	for _, ss := range streams {
+		if ss.Source != nil {
+			hasIngest = true
+			break
+		}
+	}
+	if !hasIngest {
+		return
+	}
+	src := func(ss pipeline.StreamSnapshot) pipeline.SourceStats {
+		if ss.Source == nil {
+			return pipeline.SourceStats{}
+		}
+		return *ss.Source
+	}
+	emit("ebbiot_ingest_connected", "Whether the stream's sensor connection is live.", "gauge",
+		func(ss pipeline.StreamSnapshot) string {
+			if src(ss).Connected {
+				return "1"
+			}
+			return "0"
+		})
+	emit("ebbiot_ingest_batches_total", "Event batches accepted off the wire per stream.", "counter",
+		func(ss pipeline.StreamSnapshot) string { return strconv.FormatInt(src(ss).Batches, 10) })
+	emit("ebbiot_ingest_events_total", "Events accepted off the wire per stream.", "counter",
+		func(ss pipeline.StreamSnapshot) string { return strconv.FormatInt(src(ss).Events, 10) })
+	emit("ebbiot_ingest_dropped_batches_total", "Batches shed by the queue drop policy per stream.", "counter",
+		func(ss pipeline.StreamSnapshot) string { return strconv.FormatInt(src(ss).DroppedBatches, 10) })
+	emit("ebbiot_ingest_dropped_events_total", "Events shed by the drop policy or duplicate batches per stream.", "counter",
+		func(ss pipeline.StreamSnapshot) string { return strconv.FormatInt(src(ss).DroppedEvents, 10) })
+	emit("ebbiot_ingest_dup_batches_total", "Duplicate/reordered batches rejected per stream.", "counter",
+		func(ss pipeline.StreamSnapshot) string { return strconv.FormatInt(src(ss).DupBatches, 10) })
+	emit("ebbiot_ingest_seq_gaps_total", "Skipped batch sequence numbers per stream.", "counter",
+		func(ss pipeline.StreamSnapshot) string { return strconv.FormatInt(src(ss).SeqGaps, 10) })
+	emit("ebbiot_ingest_queued_batches", "Batches waiting in the stream's ingest queue.", "gauge",
+		func(ss pipeline.StreamSnapshot) string { return strconv.FormatInt(src(ss).QueuedBatches, 10) })
+	emit("ebbiot_ingest_faults_total", "Mid-stream transport/protocol faults per stream.", "counter",
+		func(ss pipeline.StreamSnapshot) string { return strconv.FormatInt(src(ss).Faults, 10) })
 }

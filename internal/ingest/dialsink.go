@@ -1,0 +1,144 @@
+package ingest
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net"
+	"time"
+
+	"ebbiot/internal/events"
+)
+
+// DialConfig parameterises a DialSink.
+type DialConfig struct {
+	// StreamID names this sensor stream on the server. Required.
+	StreamID string
+	// Token is the shared secret the server may require.
+	Token string
+	// Res is the sensor resolution advertised in the handshake; the server
+	// rejects a mismatch against its deployment resolution.
+	Res events.Resolution
+	// Timeout bounds the dial, the handshake round trip and each batch
+	// write; 0 means 10 seconds.
+	Timeout time.Duration
+}
+
+// DialSink is the sensor-side client: it connects to an ingest server,
+// performs the handshake and then streams event batches over the framed
+// wire — the counterpart of NetSource, turning any local event producer
+// (a recorded run, a generator, a real camera driver) into a network
+// stream. It is the path that replays a recorded run over the wire.
+//
+// A DialSink is single-goroutine: Send and Close must not race.
+type DialSink struct {
+	conn net.Conn
+	bw   *bufio.Writer
+	seq  uint64
+	buf  []byte
+	// timeout bounds each Send's write.
+	timeout time.Duration
+	closed  bool
+}
+
+// Dial connects, handshakes and returns a ready sink. A server rejection
+// is returned as an error wrapping ErrRejected with the decoded reason.
+func Dial(addr string, cfg DialConfig) (*DialSink, error) {
+	if cfg.Timeout <= 0 {
+		cfg.Timeout = 10 * time.Second
+	}
+	conn, err := net.DialTimeout("tcp", addr, cfg.Timeout)
+	if err != nil {
+		return nil, fmt.Errorf("ingest: dial %s: %w", addr, err)
+	}
+	if tc, ok := conn.(*net.TCPConn); ok {
+		tc.SetNoDelay(true)
+	}
+	hs, err := appendHandshake(nil, Hello{StreamID: cfg.StreamID, Token: cfg.Token, Res: cfg.Res})
+	if err != nil {
+		conn.Close()
+		return nil, err
+	}
+	_ = conn.SetDeadline(time.Now().Add(cfg.Timeout))
+	if _, err := conn.Write(hs); err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("ingest: handshake write: %w", err)
+	}
+	var status [1]byte
+	if _, err := io.ReadFull(conn, status[:]); err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("ingest: handshake reply: %w", err)
+	}
+	if status[0] != StatusOK {
+		conn.Close()
+		return nil, fmt.Errorf("%w: %s", ErrRejected, statusText(status[0]))
+	}
+	_ = conn.SetDeadline(time.Time{})
+	return &DialSink{conn: conn, bw: bufio.NewWriterSize(conn, 64<<10), timeout: cfg.Timeout}, nil
+}
+
+// Send frames evs as the next batch. Events must be time-sorted and
+// non-decreasing across Send calls — the same contract every local
+// EventSource obeys. An empty batch is legal and serves as a heartbeat
+// against the server's idle timeout. Batches are buffered; Flush or Close
+// pushes them to the wire (a full buffer flushes on its own).
+func (d *DialSink) Send(evs []events.Event) error {
+	if d.closed {
+		return fmt.Errorf("ingest: send on closed sink")
+	}
+	d.seq++
+	var err error
+	d.buf, err = appendBatchFrame(d.buf[:0], d.seq, evs)
+	if err != nil {
+		return err
+	}
+	_ = d.conn.SetWriteDeadline(time.Now().Add(d.timeout))
+	if _, err := d.bw.Write(d.buf); err != nil {
+		return fmt.Errorf("ingest: send batch %d: %w", d.seq, err)
+	}
+	return nil
+}
+
+// Flush pushes buffered batches to the wire.
+func (d *DialSink) Flush() error {
+	if d.closed {
+		return nil
+	}
+	_ = d.conn.SetWriteDeadline(time.Now().Add(d.timeout))
+	if err := d.bw.Flush(); err != nil {
+		return fmt.Errorf("ingest: flush: %w", err)
+	}
+	return nil
+}
+
+// Close sends the clean end-of-stream frame, flushes and closes the
+// connection. After Close the stream is finished on the server.
+func (d *DialSink) Close() error {
+	if d.closed {
+		return nil
+	}
+	d.closed = true
+	d.buf = appendEOFFrame(d.buf[:0], d.seq+1)
+	_ = d.conn.SetWriteDeadline(time.Now().Add(d.timeout))
+	_, werr := d.bw.Write(d.buf)
+	ferr := d.bw.Flush()
+	cerr := d.conn.Close()
+	if werr != nil {
+		return fmt.Errorf("ingest: close: %w", werr)
+	}
+	if ferr != nil {
+		return fmt.Errorf("ingest: close: %w", ferr)
+	}
+	return cerr
+}
+
+// Abort closes the connection without the EOF frame — from the server's
+// point of view a mid-stream disconnect. Intended for fault injection and
+// for senders bailing out on an error of their own.
+func (d *DialSink) Abort() error {
+	if d.closed {
+		return nil
+	}
+	d.closed = true
+	return d.conn.Close()
+}

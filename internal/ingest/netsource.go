@@ -1,0 +1,263 @@
+package ingest
+
+import (
+	"fmt"
+	"io"
+	"sync"
+
+	"ebbiot/internal/events"
+	"ebbiot/internal/pipeline"
+)
+
+// DropPolicy selects what a full per-stream queue does with the next
+// incoming batch.
+type DropPolicy int
+
+const (
+	// Block stops reading from the connection until the consumer drains a
+	// batch — backpressure propagates to the sender through TCP flow
+	// control. No events are lost; a persistently slow consumer slows the
+	// camera down.
+	Block DropPolicy = iota
+	// DropOldest evicts the oldest queued batch to admit the new one: the
+	// stream stays current at the cost of a gap in the past. Best for live
+	// tracking, where stale windows are worthless.
+	DropOldest
+	// DropNewest discards the incoming batch and keeps the queue as is:
+	// the already-buffered prefix is preserved contiguously. Best when a
+	// complete prefix matters more than freshness.
+	DropNewest
+)
+
+// String implements fmt.Stringer.
+func (p DropPolicy) String() string {
+	switch p {
+	case Block:
+		return "block"
+	case DropOldest:
+		return "drop-oldest"
+	case DropNewest:
+		return "drop-newest"
+	default:
+		return fmt.Sprintf("DropPolicy(%d)", int(p))
+	}
+}
+
+// ParseDropPolicy parses the CLI spelling of a policy.
+func ParseDropPolicy(s string) (DropPolicy, error) {
+	switch s {
+	case "block":
+		return Block, nil
+	case "drop-oldest":
+		return DropOldest, nil
+	case "drop-newest":
+		return DropNewest, nil
+	default:
+		return 0, fmt.Errorf("ingest: unknown drop policy %q (want block, drop-oldest or drop-newest)", s)
+	}
+}
+
+// NetSourceConfig parameterises a NetSource.
+type NetSourceConfig struct {
+	// QueueBatches bounds the decoded-batch queue; 0 means 64.
+	QueueBatches int
+	// Policy is the full-queue behaviour; the zero value is Block.
+	Policy DropPolicy
+	// FailFast makes a mid-stream fault (torn frame, stalled or dropped
+	// connection, protocol violation) surface as an error from NextWindow
+	// — failing the stream, and with it the run — once the already-queued
+	// batches are drained. The default (false) is fault-tolerant: the
+	// fault is counted, recorded in SourceStats.LastError and the stream
+	// ends as if the sensor had cleanly finished, so one bad camera never
+	// takes down a fleet's run.
+	FailFast bool
+}
+
+// batch is one accepted event batch queued for the consumer.
+type batch struct {
+	evs []events.Event
+}
+
+// NetSource adapts one sensor connection to pipeline.EventSource. The
+// producing side (Server's per-connection read loop, or tests) pushes
+// decoded batches through offer/finish/fail; the consuming side is the
+// pipeline worker calling NextWindow, which blocks until enough of the
+// stream has arrived to close out the requested window.
+//
+// NetSource implements pipeline.SourceMeter, so its counters flow into
+// StreamStatus, /streams/{id} and /metrics automatically.
+type NetSource struct {
+	cfg NetSourceConfig
+
+	mu   sync.Mutex
+	cond *sync.Cond
+	// queue holds accepted batches awaiting the consumer.
+	queue []batch
+	// pending is the consumer-side staging buffer: events popped from the
+	// queue but beyond the current window's end.
+	pending []events.Event
+	// closed: no more batches will ever arrive (clean EOF, fault, abort).
+	closed bool
+	// failErr is the terminal fault, surfaced by NextWindow iff FailFast.
+	failErr error
+	// lastSeq is the highest accepted batch sequence number.
+	lastSeq uint64
+	// lastT is the last accepted event timestamp, for cross-batch order
+	// enforcement.
+	lastT int64
+
+	stats pipeline.SourceStats
+}
+
+// NewNetSource returns an unconnected source: NextWindow blocks until a
+// producer attaches and feeds it. Server creates one per expected stream;
+// tests may drive offer/finish/fail directly.
+func NewNetSource(cfg NetSourceConfig) *NetSource {
+	if cfg.QueueBatches <= 0 {
+		cfg.QueueBatches = 64
+	}
+	n := &NetSource{cfg: cfg}
+	n.cond = sync.NewCond(&n.mu)
+	return n
+}
+
+// setConnected flips the connection-liveness gauge.
+func (n *NetSource) setConnected(up bool) {
+	n.mu.Lock()
+	n.stats.Connected = up
+	n.mu.Unlock()
+}
+
+// offer hands one decoded batch to the stream. It enforces the sequence
+// discipline (duplicates and reordered batches are dropped and counted,
+// gaps are counted) and cross-batch timestamp order, then queues the
+// batch under the configured policy. Block policy blocks the caller —
+// that is the backpressure path. The returned error is a protocol
+// violation the caller should treat as a stream fault; offer on a closed
+// source returns io.ErrClosedPipe.
+func (n *NetSource) offer(seq uint64, evs []events.Event) error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.closed {
+		return io.ErrClosedPipe
+	}
+	if seq <= n.lastSeq {
+		// Duplicate or reordered batch: already delivered (or superseded)
+		// territory. Dropping it keeps the consumed stream time-sorted.
+		n.stats.DupBatches++
+		n.stats.DroppedEvents += int64(len(evs))
+		return nil
+	}
+	if seq > n.lastSeq+1 {
+		n.stats.SeqGaps += int64(seq - n.lastSeq - 1)
+	}
+	if len(evs) > 0 && evs[0].T < n.lastT {
+		return fmt.Errorf("%w: batch %d starts at t=%d before t=%d: %v",
+			ErrBadFrame, seq, evs[0].T, n.lastT, events.ErrUnsorted)
+	}
+	n.lastSeq = seq
+	n.stats.Batches++
+	n.stats.Events += int64(len(evs))
+	if len(evs) == 0 {
+		return nil // heartbeat: sequence advanced, nothing to queue
+	}
+	n.lastT = evs[len(evs)-1].T
+	for len(n.queue) >= n.cfg.QueueBatches {
+		switch n.cfg.Policy {
+		case DropOldest:
+			old := n.queue[0]
+			copy(n.queue, n.queue[1:])
+			n.queue = n.queue[:len(n.queue)-1]
+			n.stats.DroppedBatches++
+			n.stats.DroppedEvents += int64(len(old.evs))
+		case DropNewest:
+			n.stats.DroppedBatches++
+			n.stats.DroppedEvents += int64(len(evs))
+			return nil
+		default: // Block
+			n.cond.Wait()
+			if n.closed {
+				return io.ErrClosedPipe
+			}
+		}
+	}
+	n.queue = append(n.queue, batch{evs: evs})
+	n.cond.Broadcast()
+	return nil
+}
+
+// finish marks a clean end of stream: queued batches remain consumable,
+// then NextWindow reports io.EOF.
+func (n *NetSource) finish() {
+	n.mu.Lock()
+	n.closed = true
+	n.stats.Connected = false
+	n.cond.Broadcast()
+	n.mu.Unlock()
+}
+
+// fail records a mid-stream fault and ends the stream. Under FailFast the
+// error surfaces from NextWindow once the queue drains; otherwise it is
+// counted and the stream ends like a clean EOF.
+func (n *NetSource) fail(err error) {
+	n.mu.Lock()
+	if !n.closed {
+		n.closed = true
+		n.stats.Connected = false
+		n.stats.Faults++
+		if err != nil {
+			n.stats.LastError = err.Error()
+			if n.failErr == nil {
+				n.failErr = err
+			}
+		}
+	}
+	n.cond.Broadcast()
+	n.mu.Unlock()
+}
+
+// SourceStats implements pipeline.SourceMeter.
+func (n *NetSource) SourceStats() pipeline.SourceStats {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	st := n.stats
+	st.QueuedBatches = int64(len(n.queue))
+	return st
+}
+
+// NextWindow implements pipeline.EventSource. It appends the stream's
+// events in [start, end) to buf, blocking until an event at or past end
+// (or the end of the stream) proves the window complete — on a live
+// connection this is what paces the pipeline to sensor time.
+func (n *NetSource) NextWindow(buf []events.Event, start, end int64) ([]events.Event, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	for {
+		// Deliver the pending prefix below end.
+		cut := 0
+		for cut < len(n.pending) && n.pending[cut].T < end {
+			cut++
+		}
+		buf = append(buf, n.pending[:cut]...)
+		n.pending = n.pending[cut:]
+		if len(n.pending) > 0 {
+			// An event at or beyond end proves the window complete.
+			return buf, nil
+		}
+		if len(n.queue) > 0 {
+			b := n.queue[0]
+			copy(n.queue, n.queue[1:])
+			n.queue = n.queue[:len(n.queue)-1]
+			n.pending = append(n.pending[:0], b.evs...)
+			n.cond.Broadcast() // a Block-policy producer may be waiting
+			continue
+		}
+		if n.closed {
+			if n.failErr != nil && n.cfg.FailFast {
+				return buf, fmt.Errorf("ingest: stream fault: %w", n.failErr)
+			}
+			return buf, io.EOF
+		}
+		n.cond.Wait()
+	}
+}

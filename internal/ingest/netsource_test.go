@@ -1,0 +1,269 @@
+package ingest
+
+import (
+	"errors"
+	"io"
+	"sync"
+	"testing"
+
+	"ebbiot/internal/events"
+)
+
+// drain consumes src to EOF over fixed windows and returns everything
+// delivered plus the terminal error.
+func drain(src *NetSource, windowUS int64) ([]events.Event, error) {
+	var out []events.Event
+	for start := int64(0); ; start += windowUS {
+		var err error
+		out, err = src.NextWindow(out, start, start+windowUS)
+		if err != nil {
+			return out, err
+		}
+	}
+}
+
+func TestNetSourceDeliversInOrder(t *testing.T) {
+	src := NewNetSource(NetSourceConfig{})
+	want := testEvents(300, 0)
+	// Push as three batches of 100, cut at awkward offsets vs the 77us
+	// consumer windows.
+	for i := 0; i < 3; i++ {
+		if err := src.offer(uint64(i+1), want[i*100:(i+1)*100]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	src.finish()
+	got, err := drain(src, 77)
+	if err != io.EOF {
+		t.Fatalf("terminal error: got %v, want io.EOF", err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("delivered %d events, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("event %d: got %v want %v", i, got[i], want[i])
+		}
+	}
+	st := src.SourceStats()
+	if st.Batches != 3 || st.Events != 300 || st.DroppedBatches != 0 || st.DroppedEvents != 0 {
+		t.Fatalf("stats: %+v", st)
+	}
+}
+
+func TestNetSourceBlockPolicyLosesNothing(t *testing.T) {
+	src := NewNetSource(NetSourceConfig{QueueBatches: 2, Policy: Block})
+	const batches = 20
+	var producerErr error
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < batches; i++ {
+			evs := testEvents(50, int64(i*1000))
+			if err := src.offer(uint64(i+1), evs); err != nil {
+				producerErr = err
+				return
+			}
+		}
+		src.finish()
+	}()
+	got, err := drain(src, 333)
+	wg.Wait()
+	if producerErr != nil {
+		t.Fatal(producerErr)
+	}
+	if err != io.EOF {
+		t.Fatalf("terminal error: got %v, want io.EOF", err)
+	}
+	if len(got) != batches*50 {
+		t.Fatalf("delivered %d events, want %d", len(got), batches*50)
+	}
+	st := src.SourceStats()
+	if st.DroppedBatches != 0 || st.DroppedEvents != 0 {
+		t.Fatalf("block policy dropped: %+v", st)
+	}
+}
+
+func TestNetSourceDropOldest(t *testing.T) {
+	src := NewNetSource(NetSourceConfig{QueueBatches: 2, Policy: DropOldest})
+	// Four batches into a depth-2 queue with no consumer: batches 1 and 2
+	// must be evicted, 3 and 4 survive.
+	for i := 0; i < 4; i++ {
+		if err := src.offer(uint64(i+1), testEvents(10, int64(i*1000))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	src.finish()
+	got, err := drain(src, 10_000)
+	if err != io.EOF {
+		t.Fatal(err)
+	}
+	if len(got) != 20 {
+		t.Fatalf("delivered %d events, want 20", len(got))
+	}
+	if got[0].T != 2000 {
+		t.Fatalf("first surviving event at t=%d, want 2000 (batches 1-2 evicted)", got[0].T)
+	}
+	st := src.SourceStats()
+	if st.Batches != 4 || st.Events != 40 || st.DroppedBatches != 2 || st.DroppedEvents != 20 {
+		t.Fatalf("stats: %+v", st)
+	}
+}
+
+func TestNetSourceDropNewest(t *testing.T) {
+	src := NewNetSource(NetSourceConfig{QueueBatches: 2, Policy: DropNewest})
+	for i := 0; i < 4; i++ {
+		if err := src.offer(uint64(i+1), testEvents(10, int64(i*1000))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	src.finish()
+	got, err := drain(src, 10_000)
+	if err != io.EOF {
+		t.Fatal(err)
+	}
+	if len(got) != 20 {
+		t.Fatalf("delivered %d events, want 20", len(got))
+	}
+	if last := got[len(got)-1].T; last != 1009 {
+		t.Fatalf("last surviving event at t=%d, want 1009 (batches 3-4 discarded)", last)
+	}
+	st := src.SourceStats()
+	if st.DroppedBatches != 2 || st.DroppedEvents != 20 {
+		t.Fatalf("stats: %+v", st)
+	}
+}
+
+func TestNetSourceSeqDiscipline(t *testing.T) {
+	src := NewNetSource(NetSourceConfig{})
+	if err := src.offer(1, testEvents(5, 0)); err != nil {
+		t.Fatal(err)
+	}
+	// Exact duplicate of batch 1.
+	if err := src.offer(1, testEvents(5, 0)); err != nil {
+		t.Fatal(err)
+	}
+	// Gap: 2 and 3 never arrive.
+	if err := src.offer(4, testEvents(5, 100)); err != nil {
+		t.Fatal(err)
+	}
+	// Reordered: an old sequence number after a newer one.
+	if err := src.offer(2, testEvents(5, 50)); err != nil {
+		t.Fatal(err)
+	}
+	src.finish()
+	got, err := drain(src, 1000)
+	if err != io.EOF {
+		t.Fatal(err)
+	}
+	if len(got) != 10 {
+		t.Fatalf("delivered %d events, want 10 (dup and reordered batches dropped)", len(got))
+	}
+	st := src.SourceStats()
+	if st.DupBatches != 2 {
+		t.Fatalf("DupBatches = %d, want 2", st.DupBatches)
+	}
+	if st.SeqGaps != 2 {
+		t.Fatalf("SeqGaps = %d, want 2", st.SeqGaps)
+	}
+	if st.DroppedEvents != 10 {
+		t.Fatalf("DroppedEvents = %d, want 10", st.DroppedEvents)
+	}
+}
+
+func TestNetSourceHeartbeat(t *testing.T) {
+	src := NewNetSource(NetSourceConfig{})
+	if err := src.offer(1, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := src.offer(2, testEvents(3, 0)); err != nil {
+		t.Fatal(err)
+	}
+	src.finish()
+	got, err := drain(src, 1000)
+	if err != io.EOF || len(got) != 3 {
+		t.Fatalf("got %d events, err %v", len(got), err)
+	}
+	st := src.SourceStats()
+	if st.Batches != 2 || st.Events != 3 || st.SeqGaps != 0 {
+		t.Fatalf("stats: %+v", st)
+	}
+}
+
+func TestNetSourceRejectsTimeRegression(t *testing.T) {
+	src := NewNetSource(NetSourceConfig{})
+	if err := src.offer(1, testEvents(5, 1000)); err != nil {
+		t.Fatal(err)
+	}
+	err := src.offer(2, testEvents(5, 0))
+	if !errors.Is(err, ErrBadFrame) {
+		t.Fatalf("time-regressing batch: got %v, want ErrBadFrame", err)
+	}
+}
+
+func TestNetSourceOfferAfterClose(t *testing.T) {
+	src := NewNetSource(NetSourceConfig{})
+	src.finish()
+	if err := src.offer(1, testEvents(1, 0)); err != io.ErrClosedPipe {
+		t.Fatalf("offer after close: got %v, want io.ErrClosedPipe", err)
+	}
+}
+
+func TestNetSourceFaultTolerantByDefault(t *testing.T) {
+	src := NewNetSource(NetSourceConfig{})
+	if err := src.offer(1, testEvents(5, 0)); err != nil {
+		t.Fatal(err)
+	}
+	src.fail(io.ErrUnexpectedEOF)
+	got, err := drain(src, 1000)
+	if err != io.EOF {
+		t.Fatalf("tolerant stream must end as EOF, got %v", err)
+	}
+	if len(got) != 5 {
+		t.Fatalf("queued batch must survive the fault: got %d events", len(got))
+	}
+	st := src.SourceStats()
+	if st.Faults != 1 || st.LastError == "" {
+		t.Fatalf("fault not recorded: %+v", st)
+	}
+	// A second fault after close must not double-count.
+	src.fail(io.ErrUnexpectedEOF)
+	if st := src.SourceStats(); st.Faults != 1 {
+		t.Fatalf("fault double-counted: %+v", st)
+	}
+}
+
+func TestNetSourceFailFastSurfacesFault(t *testing.T) {
+	src := NewNetSource(NetSourceConfig{FailFast: true})
+	if err := src.offer(1, testEvents(5, 0)); err != nil {
+		t.Fatal(err)
+	}
+	src.fail(io.ErrUnexpectedEOF)
+	got, err := drain(src, 1000)
+	if err == nil || err == io.EOF || !errors.Is(err, io.ErrUnexpectedEOF) {
+		t.Fatalf("fail-fast stream: got %v, want wrapped io.ErrUnexpectedEOF", err)
+	}
+	// Queued data is still drained before the error surfaces.
+	if len(got) != 5 {
+		t.Fatalf("got %d events before the fault surfaced, want 5", len(got))
+	}
+}
+
+func TestParseDropPolicy(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want DropPolicy
+	}{{"block", Block}, {"drop-oldest", DropOldest}, {"drop-newest", DropNewest}} {
+		got, err := ParseDropPolicy(tc.in)
+		if err != nil || got != tc.want {
+			t.Errorf("ParseDropPolicy(%q) = %v, %v", tc.in, got, err)
+		}
+		if got.String() != tc.in {
+			t.Errorf("String() = %q, want %q", got.String(), tc.in)
+		}
+	}
+	if _, err := ParseDropPolicy("sometimes"); err == nil {
+		t.Error("unknown policy accepted")
+	}
+}

@@ -1,0 +1,265 @@
+package ingest
+
+import (
+	"bufio"
+	"crypto/subtle"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"sync"
+	"time"
+
+	"ebbiot/internal/events"
+)
+
+// ServerConfig parameterises a Server.
+type ServerConfig struct {
+	// Streams lists the stream IDs the deployment expects; each becomes a
+	// NetSource and exactly one connection may claim it. Required.
+	Streams []string
+	// Token, when non-empty, is the shared secret every handshake must
+	// present (compared in constant time).
+	Token string
+	// Res is the deployment's sensor resolution; handshakes advertising a
+	// different one are rejected, and decoded events are bounds-checked
+	// against it. The zero value accepts any resolution and skips the
+	// address check.
+	Res events.Resolution
+	// QueueBatches / Policy / FailFast configure every stream's NetSource
+	// (see NetSourceConfig).
+	QueueBatches int
+	Policy       DropPolicy
+	FailFast     bool
+	// IdleTimeout bounds the wait for the handshake and for each
+	// subsequent frame; a connection that stalls longer faults as a
+	// stalled writer. 0 means 30 seconds.
+	IdleTimeout time.Duration
+	// Logf, when non-nil, receives one line per connection-level event
+	// (accept, reject, fault, clean end).
+	Logf func(format string, args ...any)
+}
+
+// ErrServerClosed is the fault recorded on streams still open when the
+// server shuts down.
+var ErrServerClosed = errors.New("ingest: server closed")
+
+// Server accepts N concurrent framed-TCP sensor connections and routes
+// each authenticated stream ID to its NetSource. Build the pipeline's
+// streams from Source(id) and run the Runner as usual: the run completes
+// when every stream has finished (clean EOF frame) or faulted.
+type Server struct {
+	cfg ServerConfig
+	ln  net.Listener
+
+	mu      sync.Mutex
+	sources map[string]*NetSource
+	claimed map[string]bool
+	conns   map[net.Conn]struct{}
+	closed  bool
+
+	wg sync.WaitGroup
+}
+
+// Listen binds addr and starts accepting connections.
+func Listen(addr string, cfg ServerConfig) (*Server, error) {
+	if len(cfg.Streams) == 0 {
+		return nil, fmt.Errorf("ingest: no expected streams")
+	}
+	if cfg.IdleTimeout <= 0 {
+		cfg.IdleTimeout = 30 * time.Second
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("ingest: listen: %w", err)
+	}
+	s := &Server{
+		cfg:     cfg,
+		ln:      ln,
+		sources: make(map[string]*NetSource, len(cfg.Streams)),
+		claimed: make(map[string]bool, len(cfg.Streams)),
+		conns:   make(map[net.Conn]struct{}),
+	}
+	for _, id := range cfg.Streams {
+		if id == "" || len(id) > maxStreamIDLen {
+			ln.Close()
+			return nil, fmt.Errorf("ingest: invalid stream id %q", id)
+		}
+		if _, dup := s.sources[id]; dup {
+			ln.Close()
+			return nil, fmt.Errorf("ingest: duplicate stream id %q", id)
+		}
+		s.sources[id] = NewNetSource(NetSourceConfig{
+			QueueBatches: cfg.QueueBatches,
+			Policy:       cfg.Policy,
+			FailFast:     cfg.FailFast,
+		})
+	}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr returns the bound listen address.
+func (s *Server) Addr() net.Addr { return s.ln.Addr() }
+
+// Source returns the NetSource for one expected stream ID, or nil for an
+// unknown ID. Wire it as the pipeline Stream's Source.
+func (s *Server) Source(id string) *NetSource { return s.sources[id] }
+
+// Close stops accepting, severs live connections and ends every stream
+// still open with ErrServerClosed (tolerant sources EOF, FailFast ones
+// error). Safe to call more than once; blocks until the connection
+// goroutines have drained.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	already := s.closed
+	s.closed = true
+	conns := make([]net.Conn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+	if !already {
+		s.ln.Close()
+		// Sources are failed before their connections are severed, so the
+		// recorded fault is the shutdown itself, not the read error the
+		// severed connection provokes in the frame loop.
+		for _, src := range s.sources {
+			src.fail(ErrServerClosed)
+		}
+		for _, c := range conns {
+			c.Close()
+		}
+	}
+	s.wg.Wait()
+	return nil
+}
+
+func (s *Server) logf(format string, args ...any) {
+	if s.cfg.Logf != nil {
+		s.cfg.Logf(format, args...)
+	}
+}
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			s.serveConn(conn)
+			s.mu.Lock()
+			delete(s.conns, conn)
+			s.mu.Unlock()
+		}()
+	}
+}
+
+// claim reserves a stream for one connection; a stream is claimable once.
+func (s *Server) claim(id string) (*NetSource, uint8) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	src, ok := s.sources[id]
+	if !ok {
+		return nil, StatusUnknownStream
+	}
+	if s.claimed[id] {
+		return nil, StatusStreamBusy
+	}
+	s.claimed[id] = true
+	return src, StatusOK
+}
+
+// serveConn runs one connection to completion: handshake, status reply,
+// then the frame loop feeding the stream's NetSource.
+func (s *Server) serveConn(conn net.Conn) {
+	defer conn.Close()
+	if tc, ok := conn.(*net.TCPConn); ok {
+		tc.SetNoDelay(true)
+	}
+	_ = conn.SetReadDeadline(time.Now().Add(s.cfg.IdleTimeout))
+	br := bufio.NewReaderSize(conn, 64<<10)
+	hello, err := readHandshake(br)
+	if err != nil {
+		s.logf("ingest: %s: handshake: %v", conn.RemoteAddr(), err)
+		_, _ = conn.Write([]byte{StatusBadHandshake})
+		return
+	}
+	reject := func(code uint8) {
+		s.logf("ingest: %s: stream %q rejected: %s", conn.RemoteAddr(), hello.StreamID, statusText(code))
+		_, _ = conn.Write([]byte{code})
+	}
+	if s.cfg.Token != "" &&
+		subtle.ConstantTimeCompare([]byte(hello.Token), []byte(s.cfg.Token)) != 1 {
+		reject(StatusBadToken)
+		return
+	}
+	if s.cfg.Res.A > 0 && hello.Res != s.cfg.Res {
+		reject(StatusResolutionMismatch)
+		return
+	}
+	src, code := s.claim(hello.StreamID)
+	if code != StatusOK {
+		reject(code)
+		return
+	}
+	if _, err := conn.Write([]byte{StatusOK}); err != nil {
+		src.fail(fmt.Errorf("ingest: handshake reply: %w", err))
+		return
+	}
+	s.logf("ingest: %s: stream %q connected", conn.RemoteAddr(), hello.StreamID)
+	src.setConnected(true)
+
+	dec := newDecoder(br, s.cfg.Res)
+	for {
+		_ = conn.SetReadDeadline(time.Now().Add(s.cfg.IdleTimeout))
+		f, err := dec.next()
+		switch {
+		case err == nil:
+		case errors.Is(err, io.EOF):
+			// Connection closed on a frame boundary but without the EOF
+			// frame: the sensor died mid-stream, not a clean finish.
+			src.fail(fmt.Errorf("ingest: stream %q: disconnect without EOF frame", hello.StreamID))
+			s.logf("ingest: stream %q: disconnect without EOF frame", hello.StreamID)
+			return
+		case errors.Is(err, io.ErrUnexpectedEOF):
+			src.fail(fmt.Errorf("ingest: stream %q: torn frame: connection dropped mid-frame", hello.StreamID))
+			s.logf("ingest: stream %q: torn frame", hello.StreamID)
+			return
+		case errors.Is(err, os.ErrDeadlineExceeded):
+			src.fail(fmt.Errorf("ingest: stream %q: stalled writer: no frame within %v", hello.StreamID, s.cfg.IdleTimeout))
+			s.logf("ingest: stream %q: stalled writer", hello.StreamID)
+			return
+		default:
+			src.fail(fmt.Errorf("ingest: stream %q: %w", hello.StreamID, err))
+			s.logf("ingest: stream %q: %v", hello.StreamID, err)
+			return
+		}
+		if f.typ == frameEOF {
+			src.finish()
+			s.logf("ingest: stream %q: clean EOF after seq %d", hello.StreamID, f.seq)
+			return
+		}
+		if err := src.offer(f.seq, f.evs); err != nil {
+			if !errors.Is(err, io.ErrClosedPipe) {
+				src.fail(err)
+			}
+			s.logf("ingest: stream %q: %v", hello.StreamID, err)
+			return
+		}
+	}
+}

@@ -1,0 +1,113 @@
+package ingest
+
+import (
+	"errors"
+	"io"
+	"net"
+	"strings"
+	"testing"
+
+	"ebbiot/internal/events"
+)
+
+func TestServerRejectsBadToken(t *testing.T) {
+	srv := startServer(t, ServerConfig{Streams: []string{"cam0"}, Token: "hunter2"})
+	_, err := Dial(srv.Addr().String(), DialConfig{StreamID: "cam0", Token: "wrong"})
+	if !errors.Is(err, ErrRejected) || !strings.Contains(err.Error(), "bad token") {
+		t.Fatalf("got %v, want ErrRejected (bad token)", err)
+	}
+	// The right token still gets in afterwards: a rejected handshake must
+	// not claim the stream.
+	ds, err := Dial(srv.Addr().String(), DialConfig{StreamID: "cam0", Token: "hunter2"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds.Close()
+}
+
+func TestServerRejectsUnknownStream(t *testing.T) {
+	srv := startServer(t, ServerConfig{Streams: []string{"cam0"}})
+	_, err := Dial(srv.Addr().String(), DialConfig{StreamID: "nope"})
+	if !errors.Is(err, ErrRejected) || !strings.Contains(err.Error(), "unknown stream") {
+		t.Fatalf("got %v, want ErrRejected (unknown stream)", err)
+	}
+}
+
+func TestServerRejectsSecondClaim(t *testing.T) {
+	srv := startServer(t, ServerConfig{Streams: []string{"cam0"}})
+	first, err := Dial(srv.Addr().String(), DialConfig{StreamID: "cam0"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer first.Abort()
+	_, err = Dial(srv.Addr().String(), DialConfig{StreamID: "cam0"})
+	if !errors.Is(err, ErrRejected) || !strings.Contains(err.Error(), "already connected") {
+		t.Fatalf("got %v, want ErrRejected (stream busy)", err)
+	}
+}
+
+func TestServerRejectsResolutionMismatch(t *testing.T) {
+	srv := startServer(t, ServerConfig{Streams: []string{"cam0"}, Res: events.DAVIS240})
+	_, err := Dial(srv.Addr().String(), DialConfig{StreamID: "cam0", Res: events.Resolution{A: 640, B: 480}})
+	if !errors.Is(err, ErrRejected) || !strings.Contains(err.Error(), "resolution mismatch") {
+		t.Fatalf("got %v, want ErrRejected (resolution mismatch)", err)
+	}
+}
+
+func TestServerRejectsGarbageHandshake(t *testing.T) {
+	srv := startServer(t, ServerConfig{Streams: []string{"cam0"}})
+	conn, err := net.Dial("tcp", srv.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if _, err := conn.Write([]byte("GET / HTTP/1.1\r\n\r\n")); err != nil {
+		t.Fatal(err)
+	}
+	var status [1]byte
+	if _, err := io.ReadFull(conn, status[:]); err != nil {
+		t.Fatal(err)
+	}
+	if status[0] != StatusBadHandshake {
+		t.Fatalf("status = %d, want StatusBadHandshake", status[0])
+	}
+}
+
+func TestServerRejectsConfigErrors(t *testing.T) {
+	if _, err := Listen("127.0.0.1:0", ServerConfig{}); err == nil {
+		t.Error("no streams accepted")
+	}
+	if _, err := Listen("127.0.0.1:0", ServerConfig{Streams: []string{"a", "a"}}); err == nil {
+		t.Error("duplicate stream ids accepted")
+	}
+	if _, err := Listen("127.0.0.1:0", ServerConfig{Streams: []string{""}}); err == nil {
+		t.Error("empty stream id accepted")
+	}
+}
+
+func TestServerCloseEndsOpenStreams(t *testing.T) {
+	srv := startServer(t, ServerConfig{Streams: []string{"cam0", "cam1"}})
+	ds, err := Dial(srv.Addr().String(), DialConfig{StreamID: "cam0"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ds.Abort()
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Both the connected and the never-connected stream end with the
+	// server-closed fault, so pipeline workers blocked in NextWindow wake up.
+	for _, id := range []string{"cam0", "cam1"} {
+		src := srv.Source(id)
+		if _, err := src.NextWindow(nil, 0, 1000); err != io.EOF {
+			t.Errorf("stream %s after Close: err %v, want io.EOF (tolerant mode)", id, err)
+		}
+		if st := src.SourceStats(); st.Faults != 1 || !strings.Contains(st.LastError, "server closed") {
+			t.Errorf("stream %s stats after Close: %+v", id, st)
+		}
+	}
+	// Close is idempotent.
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

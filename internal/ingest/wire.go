@@ -1,0 +1,330 @@
+// Package ingest is the network event-ingest layer: fleets of cameras push
+// address-events to an ebbiot process over a length-framed TCP protocol
+// instead of the process reading local AEDAT files.
+//
+// The wire protocol reuses the store's framing discipline (docs/STORE.md):
+// every frame is `u32 payloadLen | u32 CRC32(payload) | payload`, so torn
+// and bit-flipped frames are rejected instead of decoded into garbage. A
+// connection opens with a handshake (magic, version, sensor resolution,
+// stream ID, optional shared-secret token) that the server answers with a
+// one-byte status; after acceptance the client streams sequence-numbered
+// event batches and finishes with an explicit EOF frame, so a clean end of
+// stream is distinguishable from a mid-stream disconnect. The full format
+// is specified in docs/INGEST.md; this file is the single source of truth
+// for the byte layout.
+//
+// The receiving side is built for hostile inputs and slow consumers:
+// NetSource applies per-stream backpressure through a bounded batch queue
+// with selectable drop policies (Block, DropOldest, DropNewest) and
+// surfaces every anomaly — queue drops, duplicate/reordered sequence
+// numbers, gaps, decode faults — as counters that the pipeline publishes
+// through RunStatus, /streams/{id} and /metrics.
+package ingest
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+
+	"ebbiot/internal/events"
+)
+
+// Wire constants. Bump wireVersion on any incompatible layout change.
+const (
+	handshakeMagic = "EBIN"
+	wireVersion    = 1
+
+	// frameHeaderLen is u32 payloadLen + u32 CRC32(payload).
+	frameHeaderLen = 8
+
+	// eventLen is the encoded size of one event: i16 x | i16 y | i64 t |
+	// i8 p.
+	eventLen = 13
+
+	// maxBatchEvents bounds one batch; larger counts are treated as a
+	// protocol violation rather than attempted as an allocation.
+	maxBatchEvents = 1 << 20
+	// maxFramePayload bounds a frame payload (type + seq + count + events).
+	maxFramePayload = 1 + 8 + 4 + maxBatchEvents*eventLen
+
+	maxStreamIDLen = 255
+	maxTokenLen    = 255
+)
+
+// Frame payload types.
+const (
+	frameBatch = 1
+	frameEOF   = 2
+)
+
+// Handshake status codes, answered by the server as a single byte.
+const (
+	StatusOK uint8 = iota
+	StatusUnknownStream
+	StatusBadToken
+	StatusStreamBusy
+	StatusBadHandshake
+	StatusResolutionMismatch
+)
+
+// statusText maps a reply status to a human-readable reason.
+func statusText(s uint8) string {
+	switch s {
+	case StatusOK:
+		return "ok"
+	case StatusUnknownStream:
+		return "unknown stream id"
+	case StatusBadToken:
+		return "bad token"
+	case StatusStreamBusy:
+		return "stream already connected or finished"
+	case StatusBadHandshake:
+		return "malformed handshake"
+	case StatusResolutionMismatch:
+		return "resolution mismatch"
+	default:
+		return fmt.Sprintf("status %d", s)
+	}
+}
+
+// Typed wire errors. Decoders return these (possibly wrapped with
+// position context) so callers can distinguish protocol violations from
+// transport failures.
+var (
+	ErrBadMagic     = errors.New("ingest: bad handshake magic")
+	ErrBadVersion   = errors.New("ingest: unsupported wire version")
+	ErrBadHandshake = errors.New("ingest: malformed handshake")
+	ErrFrameTooBig  = errors.New("ingest: frame exceeds size limit")
+	ErrChecksum     = errors.New("ingest: frame checksum mismatch")
+	ErrBadFrame     = errors.New("ingest: malformed frame payload")
+	ErrRejected     = errors.New("ingest: server rejected handshake")
+)
+
+var le = binary.LittleEndian
+
+// Hello is the decoded client handshake.
+type Hello struct {
+	StreamID string
+	Token    string
+	// Res is the sensor resolution the client will emit events for; the
+	// server rejects the connection when it does not match the deployment's
+	// configured resolution.
+	Res events.Resolution
+}
+
+// appendHandshake serialises h. Layout:
+//
+//	"EBIN" | u32 version | u16 resA | u16 resB |
+//	u8 idLen | id | u8 tokenLen | token
+func appendHandshake(dst []byte, h Hello) ([]byte, error) {
+	if h.StreamID == "" || len(h.StreamID) > maxStreamIDLen {
+		return dst, fmt.Errorf("%w: stream id length %d", ErrBadHandshake, len(h.StreamID))
+	}
+	if len(h.Token) > maxTokenLen {
+		return dst, fmt.Errorf("%w: token length %d", ErrBadHandshake, len(h.Token))
+	}
+	dst = append(dst, handshakeMagic...)
+	dst = le.AppendUint32(dst, wireVersion)
+	dst = le.AppendUint16(dst, uint16(h.Res.A))
+	dst = le.AppendUint16(dst, uint16(h.Res.B))
+	dst = append(dst, uint8(len(h.StreamID)))
+	dst = append(dst, h.StreamID...)
+	dst = append(dst, uint8(len(h.Token)))
+	dst = append(dst, h.Token...)
+	return dst, nil
+}
+
+// readHandshake decodes a client handshake from r, reading exactly the
+// handshake's bytes and nothing further.
+func readHandshake(r io.Reader) (Hello, error) {
+	var h Hello
+	var fixed [13]byte // magic + version + res + idLen
+	if _, err := io.ReadFull(r, fixed[:]); err != nil {
+		return h, fmt.Errorf("%w: %v", ErrBadHandshake, err)
+	}
+	if string(fixed[:4]) != handshakeMagic {
+		return h, ErrBadMagic
+	}
+	if v := le.Uint32(fixed[4:8]); v != wireVersion {
+		return h, fmt.Errorf("%w: got %d, want %d", ErrBadVersion, v, wireVersion)
+	}
+	h.Res = events.Resolution{A: int(le.Uint16(fixed[8:10])), B: int(le.Uint16(fixed[10:12]))}
+	idLen := int(fixed[12])
+	if idLen == 0 {
+		return h, fmt.Errorf("%w: empty stream id", ErrBadHandshake)
+	}
+	buf := make([]byte, idLen+1)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return h, fmt.Errorf("%w: %v", ErrBadHandshake, err)
+	}
+	h.StreamID = string(buf[:idLen])
+	tokLen := int(buf[idLen])
+	if tokLen > 0 {
+		tok := make([]byte, tokLen)
+		if _, err := io.ReadFull(r, tok); err != nil {
+			return h, fmt.Errorf("%w: %v", ErrBadHandshake, err)
+		}
+		h.Token = string(tok)
+	}
+	return h, nil
+}
+
+// appendBatchFrame serialises one event batch as a framed payload:
+//
+//	u32 payloadLen | u32 CRC32 | u8 type=1 | u64 seq | u32 count |
+//	count × (i16 x | i16 y | i64 t | i8 p)
+func appendBatchFrame(dst []byte, seq uint64, evs []events.Event) ([]byte, error) {
+	if len(evs) > maxBatchEvents {
+		return dst, fmt.Errorf("%w: %d events", ErrFrameTooBig, len(evs))
+	}
+	payloadLen := 1 + 8 + 4 + len(evs)*eventLen
+	dst = le.AppendUint32(dst, uint32(payloadLen))
+	crcAt := len(dst)
+	dst = le.AppendUint32(dst, 0) // CRC patched below
+	body := len(dst)
+	dst = append(dst, frameBatch)
+	dst = le.AppendUint64(dst, seq)
+	dst = le.AppendUint32(dst, uint32(len(evs)))
+	for _, e := range evs {
+		dst = le.AppendUint16(dst, uint16(e.X))
+		dst = le.AppendUint16(dst, uint16(e.Y))
+		dst = le.AppendUint64(dst, uint64(e.T))
+		dst = append(dst, byte(e.P))
+	}
+	le.PutUint32(dst[crcAt:], crc32.ChecksumIEEE(dst[body:]))
+	return dst, nil
+}
+
+// appendEOFFrame serialises the clean end-of-stream frame: u8 type=2 |
+// u64 seq (the sender's final sequence number plus one).
+func appendEOFFrame(dst []byte, seq uint64) []byte {
+	dst = le.AppendUint32(dst, 1+8)
+	crcAt := len(dst)
+	dst = le.AppendUint32(dst, 0)
+	body := len(dst)
+	dst = append(dst, frameEOF)
+	dst = le.AppendUint64(dst, seq)
+	le.PutUint32(dst[crcAt:], crc32.ChecksumIEEE(dst[body:]))
+	return dst
+}
+
+// frame is one decoded wire frame.
+type frame struct {
+	typ uint8
+	seq uint64
+	// evs holds the batch events (typ == frameBatch); freshly allocated per
+	// frame because the consumer queues batches beyond the next read.
+	evs []events.Event
+}
+
+// decoder incrementally decodes frames off a byte stream. The payload
+// scratch buffer is reused across frames; batch event slices are not. A
+// decoder validates everything the bytes alone can prove: framing lengths,
+// checksums, payload structure, polarity values, in-batch timestamp order
+// and (when res is non-zero) pixel addresses. Cross-batch ordering and
+// sequence-number discipline are NetSource's job — the decoder is
+// stateless across frames so it can be fuzzed on arbitrary byte streams.
+type decoder struct {
+	r       io.Reader
+	hdr     [frameHeaderLen]byte
+	payload []byte
+	res     events.Resolution // zero disables the address check
+}
+
+func newDecoder(r io.Reader, res events.Resolution) *decoder {
+	return &decoder{r: r, res: res}
+}
+
+// next reads and validates one frame. io.EOF is returned only on a clean
+// frame boundary; a stream ending inside a frame yields io.ErrUnexpectedEOF
+// (a torn frame, from the receiver's point of view). Transport errors that
+// are not stream ends — a read deadline, a reset — pass through unchanged
+// so the caller can classify them.
+func (d *decoder) next() (frame, error) {
+	if _, err := io.ReadFull(d.r, d.hdr[:]); err != nil {
+		if err == io.EOF {
+			return frame{}, io.EOF
+		}
+		if err == io.ErrUnexpectedEOF {
+			return frame{}, io.ErrUnexpectedEOF
+		}
+		return frame{}, err
+	}
+	payloadLen := int(le.Uint32(d.hdr[0:4]))
+	wantCRC := le.Uint32(d.hdr[4:8])
+	if payloadLen > maxFramePayload {
+		return frame{}, fmt.Errorf("%w: payload %d bytes", ErrFrameTooBig, payloadLen)
+	}
+	if payloadLen < 1 {
+		return frame{}, fmt.Errorf("%w: empty payload", ErrBadFrame)
+	}
+	if cap(d.payload) < payloadLen {
+		d.payload = make([]byte, payloadLen)
+	}
+	p := d.payload[:payloadLen]
+	if _, err := io.ReadFull(d.r, p); err != nil {
+		if err == io.EOF || err == io.ErrUnexpectedEOF {
+			return frame{}, io.ErrUnexpectedEOF
+		}
+		return frame{}, err
+	}
+	if crc32.ChecksumIEEE(p) != wantCRC {
+		return frame{}, ErrChecksum
+	}
+	return d.parsePayload(p)
+}
+
+func (d *decoder) parsePayload(p []byte) (frame, error) {
+	switch p[0] {
+	case frameEOF:
+		if len(p) != 1+8 {
+			return frame{}, fmt.Errorf("%w: eof frame length %d", ErrBadFrame, len(p))
+		}
+		return frame{typ: frameEOF, seq: le.Uint64(p[1:])}, nil
+	case frameBatch:
+		if len(p) < 1+8+4 {
+			return frame{}, fmt.Errorf("%w: batch frame length %d", ErrBadFrame, len(p))
+		}
+		f := frame{typ: frameBatch, seq: le.Uint64(p[1:])}
+		count := int(le.Uint32(p[9:]))
+		body := p[13:]
+		if count > maxBatchEvents || len(body) != count*eventLen {
+			return frame{}, fmt.Errorf("%w: batch count %d vs %d payload bytes", ErrBadFrame, count, len(body))
+		}
+		if count == 0 {
+			return f, nil
+		}
+		f.evs = make([]events.Event, count)
+		lastT := int64(-1)
+		for i := range f.evs {
+			off := i * eventLen
+			e := events.Event{
+				X: int16(le.Uint16(body[off:])),
+				Y: int16(le.Uint16(body[off+2:])),
+				T: int64(le.Uint64(body[off+4:])),
+				P: events.Polarity(int8(body[off+12])),
+			}
+			if !e.P.Valid() {
+				return frame{}, fmt.Errorf("%w: event %d polarity %d", ErrBadFrame, i, int8(e.P))
+			}
+			if e.T < 0 {
+				return frame{}, fmt.Errorf("%w: event %d negative timestamp", ErrBadFrame, i)
+			}
+			if e.T < lastT {
+				return frame{}, fmt.Errorf("%w: batch event %d at t=%d after t=%d: %v",
+					ErrBadFrame, i, e.T, lastT, events.ErrUnsorted)
+			}
+			if d.res.A > 0 && !d.res.Contains(int(e.X), int(e.Y)) {
+				return frame{}, fmt.Errorf("%w: event %d at (%d,%d) outside %dx%d",
+					ErrBadFrame, i, e.X, e.Y, d.res.A, d.res.B)
+			}
+			lastT = e.T
+			f.evs[i] = e
+		}
+		return f, nil
+	default:
+		return frame{}, fmt.Errorf("%w: unknown frame type %d", ErrBadFrame, p[0])
+	}
+}

@@ -68,6 +68,21 @@ func (p *PacedSource) NextWindow(buf []events.Event, start, end int64) ([]events
 	return out, err
 }
 
+// sourceMeter resolves the SourceMeter behind src, looking through a
+// PacedSource wrapper so a paced network source keeps its counters
+// visible. Returns nil for unmetered sources.
+func sourceMeter(src EventSource) SourceMeter {
+	if m, ok := src.(SourceMeter); ok {
+		return m
+	}
+	if p, ok := src.(*PacedSource); ok {
+		if m, ok := p.src.(SourceMeter); ok {
+			return m
+		}
+	}
+	return nil
+}
+
 // pacer maps a recorded-microsecond clock onto the wall clock: the first
 // wait anchors (recorded us <-> now) and returns immediately; every later
 // wait blocks until anchor + (us - base)/speed, never delaying a caller

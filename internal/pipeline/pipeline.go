@@ -337,6 +337,16 @@ func (r *Runner) runStream(ctx context.Context, idx int, st *Stream, results cha
 		return fmt.Errorf("pipeline: %s: %w", name, err)
 	}
 	defer w.Close()
+	// Metered sources (the ingest layer's NetSource, possibly paced) have
+	// their health counters published into the live status between windows
+	// and once more when the stream ends, whatever way it ends.
+	meter := sourceMeter(st.Source)
+	publishSrc := func() {
+		if meter != nil {
+			ss.setSourceStats(meter.SourceStats())
+		}
+	}
+	defer publishSrc()
 	// emit publishes one finished window: observer first (it may fail the
 	// run), then the fan-in send.
 	emit := func(snap TrackSnapshot) error {
@@ -399,6 +409,10 @@ func (r *Runner) runStream(ctx context.Context, idx int, st *Stream, results cha
 				return nil
 			}
 			if err != nil {
+				// A source failing mid-run (after yielding windows) is
+				// accounted before the failure aborts the run, so the
+				// stream's snapshot shows where the stream broke.
+				ss.addSourceError()
 				return fmt.Errorf("pipeline: %s: %w", name, err)
 			}
 			procStart := time.Now()
@@ -423,6 +437,7 @@ func (r *Runner) runStream(ctx context.Context, idx int, st *Stream, results cha
 			if timer, ok := st.System.(core.StageTimer); ok {
 				ss.setStages(timer.StageTimings())
 			}
+			publishSrc()
 			if err := emit(snap); err != nil {
 				return err
 			}
@@ -438,6 +453,7 @@ func (r *Runner) runStream(ctx context.Context, idx int, st *Stream, results cha
 				break
 			}
 			if err != nil {
+				ss.addSourceError()
 				return fmt.Errorf("pipeline: %s: %w", name, err)
 			}
 			bufs[n] = append(bufs[n][:0], win.Events...)
@@ -466,6 +482,7 @@ func (r *Runner) runStream(ctx context.Context, idx int, st *Stream, results cha
 		if timer, ok := st.System.(core.StageTimer); ok {
 			ss.setStages(timer.StageTimings())
 		}
+		publishSrc()
 		for i := 0; i < n; i++ {
 			snap := TrackSnapshot{
 				Sensor:  idx,

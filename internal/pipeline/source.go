@@ -21,6 +21,45 @@ type EventSource interface {
 	NextWindow(buf []events.Event, start, end int64) ([]events.Event, error)
 }
 
+// SourceStats is the health ledger of a network-fed (or otherwise fallible)
+// event source: what arrived, what was shed by backpressure policy, what
+// the transport mangled. Sources that implement SourceMeter have these
+// counters published into their stream's StreamStatus at every window
+// boundary, and from there onto /streams/{id} and /metrics.
+type SourceStats struct {
+	// Connected reports whether the producing connection is currently
+	// attached and live.
+	Connected bool `json:"connected"`
+	// Batches and Events count what the source accepted from the wire
+	// (before any queue-policy drop).
+	Batches int64 `json:"batches"`
+	Events  int64 `json:"events"`
+	// DroppedBatches/DroppedEvents count queue-policy evictions plus the
+	// events of discarded duplicate/reordered batches.
+	DroppedBatches int64 `json:"dropped_batches"`
+	DroppedEvents  int64 `json:"dropped_events"`
+	// DupBatches counts batches dropped for arriving with an
+	// already-delivered (duplicate or reordered) sequence number; SeqGaps
+	// counts sequence numbers skipped over.
+	DupBatches int64 `json:"dup_batches"`
+	SeqGaps    int64 `json:"seq_gaps"`
+	// QueuedBatches is the queue depth at sampling time.
+	QueuedBatches int64 `json:"queued_batches"`
+	// Faults counts mid-stream transport/protocol failures (torn frame,
+	// stalled writer, disconnect without EOF); LastError describes the
+	// most recent one.
+	Faults    int64  `json:"faults"`
+	LastError string `json:"last_error,omitempty"`
+}
+
+// SourceMeter is implemented by sources that keep SourceStats (the ingest
+// layer's NetSource). The Runner polls it between windows on the stream's
+// worker goroutine; implementations must be safe for concurrent use with
+// their producing side.
+type SourceMeter interface {
+	SourceStats() SourceStats
+}
+
 // SliceSource replays an in-memory, time-sorted event stream — recordings
 // already decoded, test fixtures, or shards of a captured stream.
 type SliceSource struct {

@@ -63,11 +63,14 @@ type StreamStatus struct {
 	lastBoxes  atomic.Int64
 	frameUS    atomic.Int64
 	paramVer   atomic.Int64
+	srcErrs    atomic.Int64
 
 	// mu guards the multi-word fields below.
 	mu     sync.Mutex
 	stages core.StageTimings
 	hasST  bool
+	src    SourceStats
+	hasSrc bool
 	errMsg string
 }
 
@@ -100,10 +103,17 @@ type StreamSnapshot struct {
 	// ActiveFraction is ProcUS over the stream time covered so far — the
 	// duty-cycle active fraction when the run is paced at recorded speed.
 	ActiveFraction float64 `json:"active_fraction"`
+	// SourceErrors counts windower/source failures on this stream — a
+	// source that errored mid-run after yielding windows shows up here
+	// even though the failure also aborts the run.
+	SourceErrors int64 `json:"source_errors"`
 	// Stages is the per-stage timing breakdown for systems that implement
 	// core.StageTimer.
 	Stages *StageSnapshot `json:"stages,omitempty"`
-	Error  string         `json:"error,omitempty"`
+	// Source carries the network-source health counters for streams fed by
+	// a SourceMeter (the ingest layer's NetSource); nil for local sources.
+	Source *SourceStats `json:"source,omitempty"`
+	Error  string       `json:"error,omitempty"`
 }
 
 // StageSnapshot is the JSON view of core.StageTimings (totals in µs).
@@ -177,6 +187,20 @@ func (s *StreamStatus) setStages(st core.StageTimings) {
 	s.mu.Unlock()
 }
 
+// addSourceError accounts one source failure on this stream.
+func (s *StreamStatus) addSourceError() { s.srcErrs.Add(1) }
+
+// SourceErrors returns the stream's source-failure count.
+func (s *StreamStatus) SourceErrors() int64 { return s.srcErrs.Load() }
+
+// setSourceStats publishes the source's health counters.
+func (s *StreamStatus) setSourceStats(st SourceStats) {
+	s.mu.Lock()
+	s.src = st
+	s.hasSrc = true
+	s.mu.Unlock()
+}
+
 // setTuning publishes the frame duration and parameter version in effect.
 func (s *StreamStatus) setTuning(frameUS, version int64) {
 	if frameUS > 0 {
@@ -204,6 +228,7 @@ func (s *StreamStatus) Snapshot(elapsed time.Duration) StreamSnapshot {
 		LastBoxes:    s.lastBoxes.Load(),
 		FrameUS:      s.frameUS.Load(),
 		ParamVersion: s.paramVer.Load(),
+		SourceErrors: s.srcErrs.Load(),
 	}
 	if secs := elapsed.Seconds(); secs > 0 {
 		snap.EventsPerSec = float64(snap.Events) / secs
@@ -223,6 +248,10 @@ func (s *StreamStatus) Snapshot(elapsed time.Duration) StreamSnapshot {
 			TrackUS:             s.stages.Track.Microseconds(),
 			ActivePixelFraction: s.stages.MeanActiveFraction(),
 		}
+	}
+	if s.hasSrc {
+		src := s.src
+		snap.Source = &src
 	}
 	snap.Error = s.errMsg
 	s.mu.Unlock()
@@ -262,6 +291,8 @@ type StatusSnapshot struct {
 	Windows int64 `json:"windows"`
 	Events  int64 `json:"events"`
 	Boxes   int64 `json:"boxes"`
+	// SourceErrors totals the per-stream source failures.
+	SourceErrors int64 `json:"source_errors"`
 	// SinkUS is cumulative wall-clock inside Sink.Consume; SinkLag is the
 	// number of snapshots queued in the fan-in channel right now.
 	SinkUS        int64            `json:"sink_us"`
@@ -380,6 +411,7 @@ func (r *RunStatus) Snapshot() StatusSnapshot {
 		snap.Windows += ss.Windows
 		snap.Events += ss.Events
 		snap.Boxes += ss.Boxes
+		snap.SourceErrors += ss.SourceErrors
 		snap.PerStream = append(snap.PerStream, ss)
 	}
 	if secs := elapsed.Seconds(); secs > 0 {

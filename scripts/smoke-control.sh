@@ -11,9 +11,16 @@ $BIN -scene 8000 -pace -speed 1 -http "$ADDR" >/dev/null 2>smoke-run.log &
 PID=$!
 trap 'kill $PID 2>/dev/null || true' EXIT
 
-# Wait for the server to come up (the run lasts ~8 s).
+# Wait for the server to come up (the run lasts ~8 s), then for the first
+# paced window to land: the per-stream stage block (windows_skipped and
+# friends) is only published once a window has been processed, and on a
+# fast box the probes below can otherwise beat the 66 ms pacer to it.
 for i in $(seq 1 50); do
   if curl -fsS "http://$ADDR/healthz" >/dev/null 2>&1; then break; fi
+  sleep 0.1
+done
+for i in $(seq 1 50); do
+  if curl -fsS "http://$ADDR/streams/0" 2>/dev/null | grep -q '"windows_skipped"'; then break; fi
   sleep 0.1
 done
 
