@@ -12,7 +12,7 @@ BENCHCOUNT ?= 1
 SHELL := /bin/bash
 .SHELLFLAGS := -o pipefail -ec
 
-.PHONY: build test race bench bench-store bench-imgproc bench-json bench-compare bench-gate vet check smoke-control smoke-ingest
+.PHONY: build test race bench bench-store bench-imgproc bench-json bench-compare bench-gate vet check smoke-control smoke-ingest crash-drill
 
 build:
 	$(GO) build ./...
@@ -83,6 +83,18 @@ BENCH_BASE ?=
 bench-gate:
 	@test -n "$(BENCH_BASE)" || { echo "usage: make bench-gate BENCH_BASE=/path/to/base/tree"; exit 2; }
 	BENCH_TOLERANCE=$(BENCH_TOLERANCE) ./scripts/bench-gate.sh $(BENCH_BASE) .
+
+# Store crash drill (also run by CI): the randomized kill-point fault
+# matrix — clean kills, torn tails, bit flips, junk sidecars, stray
+# manifest temps, plus real SIGKILLed writer processes — under the race
+# detector, over a fixed seed matrix so a failure reproduces exactly.
+# Widen locally with CRASH_DRILL_SEEDS / CRASH_DRILL_POINTS.
+CRASH_DRILL_SEEDS ?= 1 2 3
+crash-drill:
+	for seed in $(CRASH_DRILL_SEEDS); do \
+		echo "== crash drill, seed $$seed =="; \
+		CRASH_DRILL_SEED=$$seed $(GO) test -race -count=1 -run 'TestCrashDrill' ./internal/store/; \
+	done
 
 vet:
 	$(GO) vet ./...

@@ -6,6 +6,7 @@
 //
 //	ebbiot-gen -preset ENG -scale 0.01 -seed 1 -out eng.aer [-gt eng_gt.csv]
 //	ebbiot-gen -preset ENG -scale 0.01 -send HOST:PORT -stream cam0 [-token T]
+//	           [-connect-retries 10] [-connect-backoff-ms 200]
 //
 // At -scale 1 the ENG preset emits the full 2998.4 s / ~10^8-event
 // recording; small scales produce statistically identical but shorter
@@ -25,6 +26,7 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"ebbiot/internal/aedat"
 	"ebbiot/internal/annot"
@@ -49,6 +51,8 @@ func run() error {
 	send := flag.String("send", "", "stream the recording to an ebbiot-run -listen ingest server at this address")
 	streamID := flag.String("stream", "cam0", "stream ID presented in the ingest handshake with -send")
 	token := flag.String("token", "", "shared-secret token for the ingest handshake with -send")
+	connectRetries := flag.Int("connect-retries", 0, "with -send: extra connect attempts if the server is not up yet")
+	connectBackoffMS := flag.Int64("connect-backoff-ms", 200, "with -send: base delay between connect attempts (doubled, jittered)")
 	flag.Parse()
 
 	if *out == "" && *send == "" {
@@ -87,9 +91,11 @@ func run() error {
 	var ds *ingest.DialSink
 	if *send != "" {
 		ds, err = ingest.Dial(*send, ingest.DialConfig{
-			StreamID: *streamID,
-			Token:    *token,
-			Res:      spec.Sensor.Res,
+			StreamID:       *streamID,
+			Token:          *token,
+			Res:            spec.Sensor.Res,
+			ConnectRetries: *connectRetries,
+			ConnectBackoff: time.Duration(*connectBackoffMS) * time.Millisecond,
 		})
 		if err != nil {
 			return err

@@ -4,8 +4,9 @@
 //
 // Modes (-mode):
 //
-//	list    summarise the store: segments, records, bytes, time range and
-//	        the sensors present (the default)
+//	list    enumerate the directory's runs: id, finalized/recovered state,
+//	        segments, tombstones, records, time range and sensors (the
+//	        default)
 //	scan    print one sensor's snapshots whose windows overlap [-from, -to)
 //	        in frame order, as CSV rows (or JSON Lines with -json)
 //	replay  merge any set of sensors in timestamp order and feed them back
@@ -16,18 +17,28 @@
 //	        the control plane's monitoring endpoints (/healthz, /stats,
 //	        /streams/{id}, /metrics) observe it live, exactly like a live
 //	        run — /params answers 404 since a replay has no live parameters
-//	verify  rescan every record's framing and checksum, reporting any
-//	        invalid tail a crash left behind (exit status 1 if found)
+//	verify  audit every run against its manifest: recompute each sealed
+//	        segment's Merkle root over the record hashes, re-derive the
+//	        chained roots through tombstones, and validate sidecar indexes.
+//	        With -at N, emit an inclusion proof for record N of the run
+//	        instead. Exit status: 0 clean, 1 tampered/damaged, 2 I/O error;
+//	        -q suppresses output for scripting
+//
+// scan, replay and verify -at operate on one run: -run selects it, 0 (the
+// default) meaning the directory's sole run — an error when several are
+// present, never an interleaved timeline.
 //
 // Usage:
 //
-//	ebbiot-query -store dir [-mode list|scan|replay|verify]
+//	ebbiot-query -store dir [-mode list|scan|replay|verify] [-run N]
 //	             [-sensor N] [-sensors 0,2,5] [-from us] [-to us]
 //	             [-json] [-stats stats.csv] [-speed X] [-http :8080]
+//	             [-at seq] [-q]
 package main
 
 import (
 	"context"
+	"encoding/hex"
 	"errors"
 	"flag"
 	"fmt"
@@ -44,6 +55,13 @@ import (
 	"ebbiot/internal/trace"
 )
 
+// Verify exit codes (documented in docs/STORE.md; stable for scripting).
+const (
+	exitClean    = 0
+	exitTampered = 1
+	exitIOError  = 2
+)
+
 func main() {
 	if err := run(); err != nil {
 		fmt.Fprintln(os.Stderr, "ebbiot-query:", err)
@@ -54,6 +72,7 @@ func main() {
 func run() error {
 	storeDir := flag.String("store", "", "store directory (required)")
 	mode := flag.String("mode", "list", "operation: list, scan, replay or verify")
+	runID := flag.Uint64("run", 0, "run to scan/replay/prove (0 = the directory's sole run)")
 	sensor := flag.Int("sensor", -1, "sensor id for -mode scan")
 	sensorList := flag.String("sensors", "", "comma-separated sensor ids for -mode replay (default all)")
 	from := flag.Int64("from", 0, "window overlap lower bound in microseconds (inclusive)")
@@ -62,6 +81,8 @@ func run() error {
 	statsPath := flag.String("stats", "", "per-frame statistics CSV output for -mode replay (first sensor)")
 	speed := flag.Float64("speed", 0, "pace -mode replay at recorded wall-clock speed times this factor (0 = full speed)")
 	httpAddr := flag.String("http", "", "serve live monitoring of -mode replay on this address")
+	at := flag.Int64("at", -1, "emit an inclusion proof for this record seq in -mode verify")
+	quiet := flag.Bool("q", false, "-mode verify: print nothing, report by exit status only")
 	flag.Parse()
 
 	if *storeDir == "" {
@@ -74,7 +95,7 @@ func run() error {
 		if *sensor < 0 {
 			return fmt.Errorf("-mode scan requires -sensor")
 		}
-		return scan(*storeDir, *sensor, *from, *to, *jsonOut)
+		return scan(*storeDir, *runID, *sensor, *from, *to, *jsonOut)
 	case "replay":
 		if *speed < 0 {
 			return fmt.Errorf("-speed must be >= 0 (0 = full speed), got %v", *speed)
@@ -89,9 +110,14 @@ func run() error {
 		if err != nil {
 			return err
 		}
-		return replay(*storeDir, sensors, *from, *to, *jsonOut, *statsPath, *speed, *httpAddr)
+		return replay(*storeDir, *runID, sensors, *from, *to, *jsonOut, *statsPath, *speed, *httpAddr)
 	case "verify":
-		return verify(*storeDir)
+		// verify owns its tri-state exit code; it never returns.
+		if *at >= 0 {
+			os.Exit(prove(*storeDir, *runID, *at, *quiet))
+		}
+		os.Exit(verify(*storeDir, *quiet))
+		return nil
 	default:
 		return fmt.Errorf("unknown mode %q (want list, scan, replay or verify)", *mode)
 	}
@@ -118,19 +144,44 @@ func list(dir string) error {
 	if err != nil {
 		return err
 	}
+	runs := r.Runs()
 	st := r.Stats()
-	fmt.Printf("store %s\n", dir)
-	fmt.Printf("  segments: %d\n", st.Segments)
-	fmt.Printf("  records:  %d (%d data bytes)\n", st.Records, st.DataBytes)
+	fmt.Printf("store %s: %d runs, %d segments (%d expired), %d records, %d data bytes\n",
+		dir, len(runs), st.Segments, st.Tombstones, st.Records, st.DataBytes)
 	if st.DroppedBytes > 0 {
-		fmt.Printf("  dropped:  %d invalid tail bytes (run -mode verify for detail)\n", st.DroppedBytes)
+		fmt.Printf("  dropped: %d invalid tail bytes (run -mode verify for detail)\n", st.DroppedBytes)
 	}
-	if st.Records > 0 {
-		fmt.Printf("  window ends: %d us .. %d us (%.3f s span)\n",
-			st.MinEndUS, st.MaxEndUS, float64(st.MaxEndUS-st.MinEndUS)/1e6)
+	for _, p := range r.ManifestProblems() {
+		fmt.Printf("  damaged manifest: %s\n", p)
 	}
-	sensors := r.Sensors()
-	fmt.Printf("  sensors:  %d %v\n", len(sensors), sensors)
+	for _, ri := range runs {
+		state := "open"
+		switch {
+		case ri.Legacy:
+			state = "legacy"
+		case ri.Recovered:
+			state = "recovered"
+		case ri.Finalized:
+			state = "finalized"
+		}
+		fmt.Printf("run %d (%s): %d segments", ri.ID, state, ri.Segments)
+		if ri.Tombstones > 0 {
+			fmt.Printf(" + %d expired", ri.Tombstones)
+		}
+		fmt.Printf(", %d records, %d bytes", ri.Records, ri.DataBytes)
+		if ri.Records > 0 {
+			fmt.Printf(", window ends %d..%d us (%.3f s)", ri.MinEndUS, ri.MaxEndUS,
+				float64(ri.MaxEndUS-ri.MinEndUS)/1e6)
+		}
+		fmt.Printf(", sensors %v", ri.Sensors)
+		if ri.ParamsHash != ([32]byte{}) {
+			fmt.Printf(", params %s", hex.EncodeToString(ri.ParamsHash[:])[:12])
+		}
+		fmt.Println()
+	}
+	if fb := r.IndexFallbacks(); fb > 0 {
+		fmt.Printf("  degraded: %d segments read without a usable sidecar index\n", fb)
+	}
 	return nil
 }
 
@@ -142,7 +193,7 @@ func outputSink(jsonOut bool) (pipeline.Sink, error) {
 	return pipeline.NewCSVSink(os.Stdout)
 }
 
-func scan(dir string, sensor int, from, to int64, jsonOut bool) error {
+func scan(dir string, run uint64, sensor int, from, to int64, jsonOut bool) error {
 	r, err := store.OpenReader(dir)
 	if err != nil {
 		return err
@@ -151,9 +202,8 @@ func scan(dir string, sensor int, from, to int64, jsonOut bool) error {
 	if err != nil {
 		return err
 	}
-	// Scan (append order), not Replay: a single sensor needs no merge,
-	// and this keeps multi-run directories queryable.
-	stats, err := pipeline.ScanStore(context.Background(), r, sensor, from, to, sink)
+	// Scan (append order), not Replay: a single sensor needs no merge.
+	stats, err := pipeline.ScanStore(context.Background(), r, run, sensor, from, to, sink)
 	if err != nil {
 		return err
 	}
@@ -162,7 +212,7 @@ func scan(dir string, sensor int, from, to int64, jsonOut bool) error {
 	return nil
 }
 
-func replay(dir string, sensors []int, from, to int64, jsonOut bool, statsPath string, speed float64, httpAddr string) error {
+func replay(dir string, run uint64, sensors []int, from, to int64, jsonOut bool, statsPath string, speed float64, httpAddr string) error {
 	r, err := store.OpenReader(dir)
 	if err != nil {
 		return err
@@ -196,6 +246,7 @@ func replay(dir string, sensors []int, from, to int64, jsonOut bool, statsPath s
 	}
 
 	stats, err := pipeline.ReplayStoreWith(ctx, r, pipeline.MultiSink{out, ts}, pipeline.ReplayOptions{
+		Run:     run,
 		Sensors: sensors,
 		T0:      from,
 		T1:      to,
@@ -230,18 +281,84 @@ func replay(dir string, sensors []int, from, to int64, jsonOut bool, statsPath s
 	return nil
 }
 
-func verify(dir string) error {
+// verify audits the store, returning the process exit code: 0 clean,
+// 1 any integrity problem, 2 I/O failure.
+func verify(dir string, quiet bool) int {
 	rep, err := store.Verify(dir)
 	if err != nil {
-		return err
+		if !quiet {
+			fmt.Fprintln(os.Stderr, "ebbiot-query: verify:", err)
+		}
+		return exitIOError
 	}
-	fmt.Printf("verified %d segments: %d records, %d data bytes\n", rep.Segments, rep.Records, rep.DataBytes)
-	for _, p := range rep.Problems {
-		fmt.Println("  " + p)
+	if !quiet {
+		for _, rv := range rep.Runs {
+			label := fmt.Sprintf("run %d", rv.ID)
+			if rv.Legacy {
+				label = "legacy segments (no manifest)"
+			}
+			fmt.Printf("%s: %d segments + %d tombstones, %d records, %d bytes",
+				label, rv.Segments, rv.Tombstones, rv.Records, rv.DataBytes)
+			if rv.TornTailBytes > 0 {
+				fmt.Printf(", %d recoverable torn-tail bytes", rv.TornTailBytes)
+			}
+			switch {
+			case len(rv.Problems) > 0:
+				fmt.Println(": TAMPERED")
+				for _, p := range rv.Problems {
+					fmt.Println("  " + p)
+				}
+			case rv.Legacy:
+				fmt.Println(": frames valid (legacy: no Merkle roots to check)")
+			default:
+				fmt.Println(": roots and chain verified")
+			}
+		}
+		for _, p := range rep.Problems {
+			fmt.Println("damaged manifest: " + p)
+		}
 	}
 	if !rep.Clean() {
-		return fmt.Errorf("%d invalid bytes; if they are the last segment's tail, reopening the store for append truncates them — damage in an earlier, sealed segment is not recoverable", rep.DroppedBytes)
+		if !quiet {
+			fmt.Println("TAMPERED")
+		}
+		return exitTampered
 	}
-	fmt.Println("clean")
-	return nil
+	if !quiet {
+		fmt.Println("clean")
+	}
+	return exitClean
+}
+
+// prove emits an inclusion proof for record seq of the selected run.
+// Exit codes mirror verify: 0 proof verified, 1 store contradicts its
+// manifest (or seq expired), 2 I/O failure.
+func prove(dir string, runID uint64, seq int64, quiet bool) int {
+	p, err := store.Prove(dir, runID, seq)
+	if err != nil {
+		if errors.Is(err, store.ErrCorrupt) {
+			if !quiet {
+				fmt.Fprintln(os.Stderr, "ebbiot-query: proof:", err)
+			}
+			return exitTampered
+		}
+		if !quiet {
+			fmt.Fprintln(os.Stderr, "ebbiot-query: proof:", err)
+		}
+		return exitIOError
+	}
+	if !quiet {
+		s := p.Snapshot
+		fmt.Printf("record %d of run %d: sensor %d frame %d window [%d,%d) us, %d events, %d boxes\n",
+			p.Seq, p.Run, s.Sensor, s.Frame, s.StartUS, s.EndUS, s.Events, len(s.Boxes))
+		fmt.Printf("segment %d, leaf %d of %d\n", p.Segment, p.Index, p.Leaves)
+		fmt.Printf("leaf  %s\n", hex.EncodeToString(p.Leaf[:]))
+		for i, h := range p.Path {
+			fmt.Printf("path[%d] %s\n", i, hex.EncodeToString(h[:]))
+		}
+		fmt.Printf("root  %s\n", hex.EncodeToString(p.Root[:]))
+		fmt.Printf("chain %s\n", hex.EncodeToString(p.Chain[:]))
+		fmt.Println("proof verified")
+	}
+	return exitClean
 }

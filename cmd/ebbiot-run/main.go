@@ -25,8 +25,13 @@
 // With -store DIR every snapshot is additionally persisted into the
 // embedded append-only snapshot store (internal/store), so the run can be
 // interrogated later with ebbiot-query — scanned by sensor and time range
-// or replayed in full. -store-segment-mb and -store-sync tune segment
-// rotation and the fsync cadence.
+// or replayed in full. Each invocation records a new run into the
+// directory (listed by `ebbiot-query list`), stamped with the parameter
+// set's hash so recordings are attributable to their tuning.
+// -store-segment-mb and -store-sync tune segment rotation and the fsync
+// cadence; -store-retain-mb and -store-retain-age-h bound the directory by
+// size and age, expiring whole old segments into tamper-evident manifest
+// tombstones (see docs/STORE.md).
 //
 // The EBBI-based systems run the packed word-parallel frame kernels by
 // default; -reference selects the byte-per-pixel cost-model path instead
@@ -59,6 +64,7 @@
 //	           [-system EBBIOT|KF|EBMS] [-frame-ms 66]
 //	           [-sensors N] [-workers M] [-stats stats.csv] [-json]
 //	           [-store dir] [-store-segment-mb 64] [-store-sync 0]
+//	           [-store-retain-mb 0] [-store-retain-age-h 0]
 //	           [-http :8080] [-pace] [-speed 1.0] [-reference]
 //	           [-batch 1] [-skip-threshold -1]
 //	           [-ingest-token T] [-ingest-queue 64] [-ingest-policy block]
@@ -131,6 +137,8 @@ func run() error {
 	storeDir := flag.String("store", "", "record snapshots into an append-only store at this directory")
 	storeSegMB := flag.Int64("store-segment-mb", 64, "store segment rotation size in MiB")
 	storeSync := flag.Int("store-sync", 0, "store fsync cadence: every N appends (0 = rotate/close only)")
+	storeRetainMB := flag.Int64("store-retain-mb", 0, "expire oldest store segments once the directory exceeds this many MiB (0 = keep everything)")
+	storeRetainAgeH := flag.Float64("store-retain-age-h", 0, "expire store segments sealed longer than this many hours ago (0 = keep everything)")
 	httpAddr := flag.String("http", "", "serve the control plane (healthz/stats/streams/params/metrics) on this address")
 	pace := flag.Bool("pace", false, "release windows at recorded wall-clock speed instead of as fast as possible")
 	speed := flag.Float64("speed", 1.0, "pacing speed multiplier with -pace (1 = recorded speed)")
@@ -327,6 +335,11 @@ func run() error {
 		sw, err = store.Open(*storeDir, store.Options{
 			SegmentBytes: *storeSegMB << 20,
 			SyncEvery:    *storeSync,
+			ParamsHash:   ps.Hash(),
+			Retention: store.RetentionPolicy{
+				MaxAgeUS: int64(*storeRetainAgeH * 3600 * 1e6),
+				MaxBytes: *storeRetainMB << 20,
+			},
 		})
 		if err != nil {
 			return err
@@ -433,9 +446,9 @@ func run() error {
 	if v := paramStore.Version(); v > 1 {
 		fmt.Fprintf(os.Stderr, "params: finished on version %d (retuned live %d time(s))\n", v, v-1)
 	}
-	if *storeDir != "" {
-		fmt.Fprintf(os.Stderr, "recorded %d snapshots to %s (query with: ebbiot-query -store %s)\n",
-			stats.Windows, *storeDir, *storeDir)
+	if sw != nil {
+		fmt.Fprintf(os.Stderr, "recorded %d snapshots to %s as run %d (list/verify/replay with: ebbiot-query -store %s)\n",
+			stats.Windows, *storeDir, sw.RunID(), *storeDir)
 	}
 	return nil
 }

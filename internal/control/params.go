@@ -14,6 +14,7 @@ package control
 
 import (
 	"bytes"
+	"crypto/sha256"
 	"encoding/json"
 	"fmt"
 	"sync"
@@ -146,6 +147,21 @@ func (p ParamSet) SameChain(o ParamSet) bool {
 	p.ActivePowerMW, o.ActivePowerMW = 0, 0
 	p.SleepPowerMW, o.SleepPowerMW = 0, 0
 	return p == o
+}
+
+// Hash fingerprints the parameter set for run manifests: sha256 over the
+// canonical JSON encoding with Version zeroed, so two runs recorded under
+// the same tuning hash identically regardless of how many monitoring-only
+// version bumps separated them. Recorded by ebbiot-run into the store's
+// run manifest and shown by ebbiot-query list.
+func (p ParamSet) Hash() [32]byte {
+	p.Version = 0
+	raw, err := json.Marshal(p)
+	if err != nil {
+		// ParamSet is a flat struct of scalars; Marshal cannot fail.
+		panic(err)
+	}
+	return sha256.Sum256(raw)
 }
 
 // Validate checks every field through the underlying config validators (the

@@ -24,6 +24,18 @@ func TestDefaultsValidate(t *testing.T) {
 	}
 }
 
+func TestParamSetHash(t *testing.T) {
+	a, b := Defaults(), Defaults()
+	b.Version = 99 // version bumps must not change the fingerprint
+	if a.Hash() != b.Hash() {
+		t.Fatal("Hash changed with Version alone")
+	}
+	b.Threshold++
+	if a.Hash() == b.Hash() {
+		t.Fatal("Hash ignored a tuning change")
+	}
+}
+
 func TestParamSetValidateRejects(t *testing.T) {
 	cases := []struct {
 		name   string

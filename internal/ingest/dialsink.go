@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"fmt"
 	"io"
+	"math/rand"
 	"net"
 	"time"
 
@@ -22,6 +23,34 @@ type DialConfig struct {
 	// Timeout bounds the dial, the handshake round trip and each batch
 	// write; 0 means 10 seconds.
 	Timeout time.Duration
+	// ConnectRetries bounds additional dial attempts after the first
+	// fails (0 = fail on the first error). Only the TCP connect is
+	// retried — a sensor fleet brought up before its server converges
+	// instead of dying — while a server that answers and rejects the
+	// handshake (ErrRejected) is authoritative and never retried.
+	ConnectRetries int
+	// ConnectBackoff is the delay before the first retry, doubled each
+	// attempt (capped at 5 s) with uniform jitter in [d/2, d] so a fleet
+	// restarting together does not reconnect in lockstep. 0 means 200 ms.
+	ConnectBackoff time.Duration
+}
+
+// connectBackoffCap bounds the exponential dial backoff.
+const connectBackoffCap = 5 * time.Second
+
+// jitteredBackoff returns the sleep before retry number attempt (0-based):
+// base << attempt capped at connectBackoffCap, jittered uniformly into
+// [d/2, d].
+func jitteredBackoff(base time.Duration, attempt int) time.Duration {
+	d := base
+	for i := 0; i < attempt && d < connectBackoffCap; i++ {
+		d *= 2
+	}
+	if d > connectBackoffCap {
+		d = connectBackoffCap
+	}
+	half := d / 2
+	return half + time.Duration(rand.Int63n(int64(half)+1))
 }
 
 // DialSink is the sensor-side client: it connects to an ingest server,
@@ -41,15 +70,31 @@ type DialSink struct {
 	closed  bool
 }
 
-// Dial connects, handshakes and returns a ready sink. A server rejection
-// is returned as an error wrapping ErrRejected with the decoded reason.
+// Dial connects, handshakes and returns a ready sink. The TCP connect is
+// retried up to cfg.ConnectRetries times with jittered exponential
+// backoff; the handshake is attempted once on the connection that
+// succeeds. A server rejection is returned as an error wrapping
+// ErrRejected with the decoded reason.
 func Dial(addr string, cfg DialConfig) (*DialSink, error) {
 	if cfg.Timeout <= 0 {
 		cfg.Timeout = 10 * time.Second
 	}
-	conn, err := net.DialTimeout("tcp", addr, cfg.Timeout)
-	if err != nil {
-		return nil, fmt.Errorf("ingest: dial %s: %w", addr, err)
+	backoff := cfg.ConnectBackoff
+	if backoff <= 0 {
+		backoff = 200 * time.Millisecond
+	}
+	var conn net.Conn
+	var err error
+	for attempt := 0; ; attempt++ {
+		conn, err = net.DialTimeout("tcp", addr, cfg.Timeout)
+		if err == nil {
+			break
+		}
+		if attempt >= cfg.ConnectRetries {
+			return nil, fmt.Errorf("ingest: dial %s (attempt %d of %d): %w",
+				addr, attempt+1, cfg.ConnectRetries+1, err)
+		}
+		time.Sleep(jitteredBackoff(backoff, attempt))
 	}
 	if tc, ok := conn.(*net.TCPConn); ok {
 		tc.SetNoDelay(true)

@@ -1,0 +1,137 @@
+package ingest
+
+import (
+	"errors"
+	"net"
+	"testing"
+	"time"
+
+	"ebbiot/internal/events"
+)
+
+// TestDialRetriesUntilServerUp covers the fleet-boot race: the sensor dials
+// before its server listens, and the bounded backoff carries it across the
+// gap instead of failing the first connect.
+func TestDialRetriesUntilServerUp(t *testing.T) {
+	// Reserve a port, then free it so the first dial attempts land on a
+	// closed socket.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+
+	srvCh := make(chan *Server, 1)
+	go func() {
+		time.Sleep(120 * time.Millisecond)
+		srv, err := Listen(addr, ServerConfig{Streams: []string{"cam0"}, Res: events.DAVIS240})
+		if err != nil {
+			srvCh <- nil
+			return
+		}
+		srvCh <- srv
+	}()
+
+	sink, err := Dial(addr, DialConfig{
+		StreamID:       "cam0",
+		Res:            events.DAVIS240,
+		ConnectRetries: 20,
+		ConnectBackoff: 30 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatalf("Dial with retries did not survive a late server: %v", err)
+	}
+	if err := sink.Send([]events.Event{{X: 1, Y: 1, T: 1, P: 1}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := sink.Close(); err != nil {
+		t.Fatal(err)
+	}
+	srv := <-srvCh
+	if srv == nil {
+		t.Fatal("late server failed to listen")
+	}
+	srv.Close()
+}
+
+// TestDialRetriesAreBounded asserts a dead endpoint fails after the
+// configured attempt count, with backoff actually spent between attempts.
+func TestDialRetriesAreBounded(t *testing.T) {
+	// A listener opened and closed again: nothing will ever accept here.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+
+	start := time.Now()
+	_, err = Dial(addr, DialConfig{
+		StreamID:       "cam0",
+		Res:            events.DAVIS240,
+		ConnectRetries: 2,
+		ConnectBackoff: 20 * time.Millisecond,
+	})
+	elapsed := time.Since(start)
+	if err == nil {
+		t.Fatal("Dial succeeded against a closed port")
+	}
+	// Two retries with 20 ms base: sleeps in [10,20] + [20,40] ms.
+	if elapsed < 30*time.Millisecond {
+		t.Fatalf("Dial returned after %v; backoff between attempts not taken", elapsed)
+	}
+	if elapsed > 5*time.Second {
+		t.Fatalf("bounded retry took %v", elapsed)
+	}
+}
+
+// TestDialDoesNotRetryRejection: a server that answers and says no is
+// authoritative — retrying a bad token would just hammer it.
+func TestDialDoesNotRetryRejection(t *testing.T) {
+	srv := startServer(t, ServerConfig{
+		Streams: []string{"cam0"},
+		Token:   "sesame",
+		Res:     events.DAVIS240,
+	})
+
+	start := time.Now()
+	_, err := Dial(srv.Addr().String(), DialConfig{
+		StreamID:       "cam0",
+		Token:          "wrong",
+		Res:            events.DAVIS240,
+		ConnectRetries: 5,
+		ConnectBackoff: 500 * time.Millisecond,
+	})
+	elapsed := time.Since(start)
+	if !errors.Is(err, ErrRejected) {
+		t.Fatalf("Dial error = %v, want ErrRejected", err)
+	}
+	// With retries the first sleep alone would be >=250 ms.
+	if elapsed > 200*time.Millisecond {
+		t.Fatalf("rejection took %v; handshake rejection must not be retried", elapsed)
+	}
+}
+
+// TestJitteredBackoffBounds pins the backoff envelope: doubling from the
+// base, capped, and jittered into [d/2, d].
+func TestJitteredBackoffBounds(t *testing.T) {
+	base := 200 * time.Millisecond
+	want := []time.Duration{
+		200 * time.Millisecond,
+		400 * time.Millisecond,
+		800 * time.Millisecond,
+		1600 * time.Millisecond,
+		3200 * time.Millisecond,
+		connectBackoffCap,
+		connectBackoffCap, // stays capped
+	}
+	for attempt, d := range want {
+		for trial := 0; trial < 50; trial++ {
+			got := jitteredBackoff(base, attempt)
+			if got < d/2 || got > d {
+				t.Fatalf("attempt %d: backoff %v outside [%v, %v]", attempt, got, d/2, d)
+			}
+		}
+	}
+}

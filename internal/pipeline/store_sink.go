@@ -70,15 +70,17 @@ func snapshotFromStore(s store.Snapshot) TrackSnapshot {
 //
 // Snapshots arrive on the calling goroutine in the store's replay order:
 // globally non-decreasing EndUS, per-sensor in frame order — the same
-// per-stream ordering contract a live Runner gives its sink. A nil or
-// empty sensors list replays every sensor; [t0, t1) bounds the window
+// per-stream ordering contract a live Runner gives its sink. The store's
+// sole run is replayed (store.ErrMultipleRuns when the directory holds
+// several; use ReplayStoreWith and ReplayOptions.Run to pick one). A nil
+// or empty sensors list replays every sensor; [t0, t1) bounds the window
 // overlap query (use 0 and math.MaxInt64 for everything). Like Runner.Run,
 // ReplayStore flushes the sink before returning and reports the first
 // error from the store, the sink, the flush or ctx.
 func ReplayStore(ctx context.Context, r *store.Reader, sensors []int, t0, t1 int64, sink Sink) (Stats, error) {
 	// Bounds are passed literally (t1 = 0 replays nothing, as it always
 	// has); the T1 <= 0 convenience below belongs to ReplayOptions only.
-	it, err := r.Replay(sensors, t0, t1)
+	it, err := r.Replay(0, sensors, t0, t1)
 	if err != nil {
 		return Stats{}, fmt.Errorf("pipeline: replay: %w", err)
 	}
@@ -87,6 +89,10 @@ func ReplayStore(ctx context.Context, r *store.Reader, sensors []int, t0, t1 int
 
 // ReplayOptions parameterises ReplayStoreWith.
 type ReplayOptions struct {
+	// Run selects which recorded run to replay; 0 means the directory's
+	// sole run and fails with store.ErrMultipleRuns when several are
+	// present (see store.Reader.Runs for the listing).
+	Run uint64
 	// Sensors selects the sensors to merge; nil or empty replays all.
 	Sensors []int
 	// T0, T1 bound the window-overlap query; T1 <= 0 means no upper bound.
@@ -107,19 +113,23 @@ func ReplayStoreWith(ctx context.Context, r *store.Reader, sink Sink, opts Repla
 	if t1 <= 0 {
 		t1 = math.MaxInt64
 	}
-	it, err := r.Replay(opts.Sensors, opts.T0, t1)
+	it, err := r.Replay(opts.Run, opts.Sensors, opts.T0, t1)
 	if err != nil {
 		return Stats{}, fmt.Errorf("pipeline: replay: %w", err)
 	}
 	return drainStore(ctx, it, sink, opts)
 }
 
-// ScanStore feeds one sensor's stored snapshots through a Sink in append
-// order (frame order within each recorded run). Unlike ReplayStore it
-// does not require the global timestamp order of a single-run store, so
-// it also works on directories holding several appended runs.
-func ScanStore(ctx context.Context, r *store.Reader, sensor int, t0, t1 int64, sink Sink) (Stats, error) {
-	return drainStore(ctx, r.Scan(sensor, t0, t1), sink, ReplayOptions{})
+// ScanStore feeds one sensor's stored snapshots from one run through a
+// Sink in append order (frame order within the recorded run). run 0
+// selects the directory's sole run; a directory holding several requires
+// an explicit run ID from store.Reader.Runs.
+func ScanStore(ctx context.Context, r *store.Reader, run uint64, sensor int, t0, t1 int64, sink Sink) (Stats, error) {
+	c, err := r.Scan(run, sensor, t0, t1)
+	if err != nil {
+		return Stats{}, fmt.Errorf("pipeline: scan: %w", err)
+	}
+	return drainStore(ctx, c, sink, ReplayOptions{})
 }
 
 // drainStore pumps a store iterator into a sink, mirroring Runner.Run's

@@ -102,29 +102,49 @@ func TestReplayStoreTimeAndSensorBounds(t *testing.T) {
 	}
 }
 
-// TestScanStoreWorksOnMultiRunStore pins the CLI scan path's contract:
-// append order tolerates several runs recorded into one directory, where
-// the timestamp-ordered Replay (correctly) refuses to merge them.
-func TestScanStoreWorksOnMultiRunStore(t *testing.T) {
+// TestMultiRunStoreScopedQueries pins the run-selector contract: two runs
+// recorded into one directory are independently queryable, and the
+// selector-less forms (run 0 = "the sole run") fail fast with the typed
+// sentinel instead of interleaving two frame clocks into one timeline.
+func TestMultiRunStoreScopedQueries(t *testing.T) {
 	dir := t.TempDir()
 	first := runFleetWithStore(t, dir, 2, 1)
-	second := runFleetWithStore(t, dir, 2, 1) // second run appends to the same store
+	second := runFleetWithStore(t, dir, 2, 1) // second run recorded into the same store
 	r, err := store.OpenReader(dir)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := ReplayStore(context.Background(), r, nil, 0, math.MaxInt64, nil); err == nil {
-		t.Fatal("ReplayStore over a two-run store succeeded; want a multiple-runs error")
+	if _, err := ReplayStore(context.Background(), r, nil, 0, math.MaxInt64, nil); !errors.Is(err, store.ErrMultipleRuns) {
+		t.Fatalf("ReplayStore over a two-run store: %v, want ErrMultipleRuns", err)
 	}
-	var got []TrackSnapshot
-	stats, err := ScanStore(context.Background(), r, 1, 0, math.MaxInt64,
-		SinkFunc(func(snap TrackSnapshot) error { got = append(got, snap); return nil }))
-	if err != nil {
-		t.Fatal(err)
+	if _, err := ScanStore(context.Background(), r, 0, 1, 0, math.MaxInt64, nil); !errors.Is(err, store.ErrMultipleRuns) {
+		t.Fatalf("selector-less ScanStore over a two-run store: %v, want ErrMultipleRuns", err)
 	}
-	want := append(append([]TrackSnapshot(nil), first[1]...), second[1]...)
-	if stats.Windows != int64(len(want)) || !reflect.DeepEqual(got, want) {
-		t.Fatalf("ScanStore yielded %d snapshots, want both runs' %d in append order", len(got), len(want))
+	runs := r.Runs()
+	if len(runs) != 2 {
+		t.Fatalf("Runs() listed %d runs, want 2", len(runs))
+	}
+	for i, want := range []map[int][]TrackSnapshot{first, second} {
+		var got []TrackSnapshot
+		stats, err := ScanStore(context.Background(), r, runs[i].ID, 1, 0, math.MaxInt64,
+			SinkFunc(func(snap TrackSnapshot) error { got = append(got, snap); return nil }))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if stats.Windows != int64(len(want[1])) || !reflect.DeepEqual(got, want[1]) {
+			t.Fatalf("run %d: ScanStore yielded %d snapshots, want %d", runs[i].ID, len(got), len(want[1]))
+		}
+		replayed := make(map[int][]TrackSnapshot)
+		if _, err := ReplayStoreWith(context.Background(), r,
+			SinkFunc(func(snap TrackSnapshot) error {
+				replayed[snap.Sensor] = append(replayed[snap.Sensor], snap)
+				return nil
+			}), ReplayOptions{Run: runs[i].ID}); err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(replayed, want) {
+			t.Fatalf("run %d: replay differs from its live recording", runs[i].ID)
+		}
 	}
 }
 

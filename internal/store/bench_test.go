@@ -101,11 +101,25 @@ func benchStoreDir(b *testing.B) string {
 }
 
 func TestMain(m *testing.M) {
+	// Re-exec'd as a crash-drill victim: record until SIGKILLed (never
+	// returns). See crashdrill_test.go.
+	if crashChildRequested() {
+		crashChildMain()
+	}
 	code := m.Run()
 	if benchDir != "" {
 		os.RemoveAll(benchDir)
 	}
 	os.Exit(code)
+}
+
+// benchScan opens a cursor over the bench store's sole run.
+func benchScan(b *testing.B, r *Reader, sensor int, t0, t1 int64) *Cursor {
+	c, err := r.Scan(0, sensor, t0, t1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return c
 }
 
 func drain(b *testing.B, it Iterator, want int64) {
@@ -137,7 +151,7 @@ func BenchmarkScanFull(b *testing.B) {
 	b.SetBytes(benchRecordBytes() * benchSensors * benchFrames)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		drain(b, r.Scan(1, 0, math.MaxInt64), benchFrames)
+		drain(b, benchScan(b, r, 1, 0, math.MaxInt64), benchFrames)
 	}
 }
 
@@ -152,7 +166,7 @@ func BenchmarkScanWindow(b *testing.B) {
 	const t0, t1 = 20_000 * 66_000, 20_100 * 66_000
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		drain(b, r.Scan(1, t0, t1), 100)
+		drain(b, benchScan(b, r, 1, t0, t1), 100)
 	}
 }
 
@@ -170,7 +184,7 @@ func BenchmarkReplay(b *testing.B) {
 	b.SetBytes(benchRecordBytes() * benchSensors * benchFrames)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		it, err := r.Replay(nil, 0, math.MaxInt64)
+		it, err := r.Replay(0, nil, 0, math.MaxInt64)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -202,7 +216,7 @@ func BenchmarkReplayMultiCursor(b *testing.B) {
 		heads := make([]Snapshot, benchSensors)
 		live := make([]bool, benchSensors)
 		for s := 0; s < benchSensors; s++ {
-			cursors[s] = r.Scan(s, 0, math.MaxInt64)
+			cursors[s] = benchScan(b, r, s, 0, math.MaxInt64)
 			snap, err := cursors[s].Next()
 			if err != nil {
 				b.Fatal(err)

@@ -1,0 +1,205 @@
+package store
+
+import "crypto/sha256"
+
+// Merkle tree over record payloads, RFC 6962-shaped: the tree of n leaves
+// splits at the largest power of two strictly below n, odd subtrees are
+// promoted (never duplicated, so no two distinct leaf sequences share a
+// root), and leaf and interior hashes are domain-separated so an interior
+// node can never be replayed as a record. The per-segment root is chained
+// across segments in the run manifest (see manifest.go); together they
+// make a recorded run provably complete and untampered, with O(log n)
+// inclusion proofs for individual snapshots.
+
+// hashSize is sha256.Size, named locally so the format files need not
+// import crypto.
+const hashSize = sha256.Size
+
+// Domain-separation prefixes.
+const (
+	leafPrefix  = 0x00 // leaf: H(0x00 || payload)
+	nodePrefix  = 0x01 // interior: H(0x01 || left || right)
+	chainPrefix = 0x02 // segment chain: H(0x02 || prev || root)
+	seedPrefix  = 0x03 // run seed: H(0x03 || "EBRN" || u64 runID)
+)
+
+// leafHash hashes one record payload into a tree leaf.
+func leafHash(payload []byte) [hashSize]byte {
+	h := sha256.New()
+	h.Write([]byte{leafPrefix})
+	h.Write(payload)
+	var out [hashSize]byte
+	h.Sum(out[:0])
+	return out
+}
+
+// nodeHash combines two subtree hashes.
+func nodeHash(l, r [hashSize]byte) [hashSize]byte {
+	h := sha256.New()
+	h.Write([]byte{nodePrefix})
+	h.Write(l[:])
+	h.Write(r[:])
+	var out [hashSize]byte
+	h.Sum(out[:0])
+	return out
+}
+
+// chainHash commits segment root to the running chain: each manifest
+// entry's chain value is chainHash(previous entry's chain, this segment's
+// root), seeded by runSeed. Retained segments therefore stay provable
+// after earlier segments are expired — the tombstone's recorded root
+// feeds the chain exactly as the live segment's recomputed root would.
+func chainHash(prev, root [hashSize]byte) [hashSize]byte {
+	h := sha256.New()
+	h.Write([]byte{chainPrefix})
+	h.Write(prev[:])
+	h.Write(root[:])
+	var out [hashSize]byte
+	h.Sum(out[:0])
+	return out
+}
+
+// runSeed is the chain value before a run's first segment, binding the
+// chain to the run identity so two runs with identical records still have
+// distinct chains.
+func runSeed(runID uint64) [hashSize]byte {
+	var buf [4 + 8]byte
+	copy(buf[:4], "EBRN")
+	le.PutUint64(buf[4:], runID)
+	h := sha256.New()
+	h.Write([]byte{seedPrefix})
+	h.Write(buf[:])
+	var out [hashSize]byte
+	h.Sum(out[:0])
+	return out
+}
+
+// merkleAcc incrementally folds leaves into the RFC 6962 root with
+// O(log n) state: peaks[i] is the root of a complete subtree, sizes
+// strictly decreasing left to right (a Merkle mountain range). Bagging
+// the peaks right to left reproduces the recursive MTH definition
+// exactly, so the accumulator and the batch builder in merkleRoot agree
+// bit for bit. The zero value is an empty accumulator.
+type merkleAcc struct {
+	peaks []([hashSize]byte)
+	n     int64
+}
+
+// add folds in the next leaf.
+func (a *merkleAcc) add(leaf [hashSize]byte) {
+	a.peaks = append(a.peaks, leaf)
+	a.n++
+	// After appending leaf k (1-based), merge one pair of equal-size peaks
+	// per trailing one-bit of k: the peak sizes mirror k's binary digits.
+	for m := a.n; m&1 == 0; m >>= 1 {
+		last := len(a.peaks) - 1
+		a.peaks[last-1] = nodeHash(a.peaks[last-1], a.peaks[last])
+		a.peaks = a.peaks[:last]
+	}
+}
+
+// root bags the peaks into the final tree hash. The root of zero leaves
+// is defined as the hash of an empty leaf-less tree: sha256 of the empty
+// string under the leaf prefix — callers never store empty segments, but
+// the definition keeps the function total.
+func (a *merkleAcc) root() [hashSize]byte {
+	if len(a.peaks) == 0 {
+		return leafHash(nil)
+	}
+	r := a.peaks[len(a.peaks)-1]
+	for i := len(a.peaks) - 2; i >= 0; i-- {
+		r = nodeHash(a.peaks[i], r)
+	}
+	return r
+}
+
+// reset clears the accumulator for the next segment.
+func (a *merkleAcc) reset() {
+	a.peaks = a.peaks[:0]
+	a.n = 0
+}
+
+// merkleRoot computes the root of a full leaf slice (the verify path,
+// which has every leaf in memory after rescanning a segment).
+func merkleRoot(leaves [][hashSize]byte) [hashSize]byte {
+	if len(leaves) == 0 {
+		return leafHash(nil)
+	}
+	if len(leaves) == 1 {
+		return leaves[0]
+	}
+	k := splitPoint(len(leaves))
+	return nodeHash(merkleRoot(leaves[:k]), merkleRoot(leaves[k:]))
+}
+
+// splitPoint returns the largest power of two strictly below n (n >= 2).
+func splitPoint(n int) int {
+	k := 1
+	for k*2 < n {
+		k *= 2
+	}
+	return k
+}
+
+// merklePath returns the audit path for leaf i of the given tree: the
+// sibling hashes, leaf-to-root, that verifyInclusion folds with the leaf
+// to reproduce the root.
+func merklePath(leaves [][hashSize]byte, i int) [][hashSize]byte {
+	if i < 0 || i >= len(leaves) {
+		return nil
+	}
+	var path [][hashSize]byte
+	lo, hi := 0, len(leaves)
+	// Descend recursively, collecting siblings on the way back up.
+	var walk func(lo, hi, i int)
+	walk = func(lo, hi, i int) {
+		if hi-lo <= 1 {
+			return
+		}
+		k := splitPoint(hi - lo)
+		if i < lo+k {
+			walk(lo, lo+k, i)
+			path = append(path, merkleRoot(leaves[lo+k:hi]))
+		} else {
+			walk(lo+k, hi, i)
+			path = append(path, merkleRoot(leaves[lo:lo+k]))
+		}
+	}
+	walk(lo, hi, i)
+	return path
+}
+
+// verifyInclusion folds leaf i's audit path back into a root and reports
+// whether it matches. n is the leaf count of the tree.
+func verifyInclusion(leaf [hashSize]byte, i, n int, path [][hashSize]byte, root [hashSize]byte) bool {
+	if i < 0 || i >= n {
+		return false
+	}
+	h := leaf
+	lo, hi := 0, n
+	// Recompute the index bounds top-down to know, at each level bottom-up,
+	// whether the sibling sits left or right. Collect the directions first.
+	dirs := make([]bool, 0, len(path)) // true = sibling on the left
+	for hi-lo > 1 {
+		k := splitPoint(hi - lo)
+		if i < lo+k {
+			dirs = append(dirs, false)
+			hi = lo + k
+		} else {
+			dirs = append(dirs, true)
+			lo += k
+		}
+	}
+	if len(dirs) != len(path) {
+		return false
+	}
+	for level := len(path) - 1; level >= 0; level-- {
+		sib := path[len(path)-1-level]
+		if dirs[level] {
+			h = nodeHash(sib, h)
+		} else {
+			h = nodeHash(h, sib)
+		}
+	}
+	return h == root
+}

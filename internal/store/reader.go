@@ -11,13 +11,27 @@ import (
 	"sort"
 )
 
-// Reader is a point-in-time view of a store directory: the segment list
-// and per-segment metadata are captured at OpenReader. Records appended
-// after that (by a live Writer) are not visible; reopen to see them. A
-// Reader is safe for concurrent use — each Scan/Replay cursor owns its
-// file handles.
+// Reader is a point-in-time view of a store directory: run manifests,
+// segment lists and per-segment metadata are captured at OpenReader.
+// Records appended after that (by a live Writer) are not visible; reopen
+// to see them. A Reader is safe for concurrent use — each Scan/Replay
+// cursor owns its file handles.
+//
+// A directory holds any number of runs (one per Writer Open), each
+// described by its manifest. Scan, Replay and Prove take a run selector:
+// 0 means "the sole run" and fails with ErrMultipleRuns when several are
+// present; any other value names a run listed by Runs. Segments predating
+// the manifest format are grouped as a synthetic legacy run with ID 0.
 type Reader struct {
-	dir  string
+	dir              string
+	runs             []readerRun
+	manifestProblems []string
+	indexFallbacks   int
+}
+
+type readerRun struct {
+	info RunInfo
+	man  *manifest // nil for the legacy group
 	segs []readerSeg
 }
 
@@ -26,12 +40,50 @@ type readerSeg struct {
 	path    string
 	meta    *segMeta
 	dropped int64
+	// corrupt, when non-nil, is post-seal damage detected against the
+	// manifest: reads serve the segment's valid prefix and then return it
+	// — damage is reported, never silently skipped.
+	corrupt error
 }
 
-// Stats summarises what a Reader can see.
+// RunInfo describes one run in the directory.
+type RunInfo struct {
+	ID uint64
+	// Legacy marks the synthetic group of segments predating run
+	// manifests: readable, but with no manifest to verify against.
+	Legacy bool
+	// Finalized runs are immutable; Recovered ones were finalized by
+	// crash recovery rather than a clean Close.
+	Finalized bool
+	Recovered bool
+	// Wall-clock span of the recording (microseconds since the epoch).
+	StartWallUS int64
+	EndWallUS   int64
+	// ParamsHash is the pipeline parameter-set hash recorded at Open
+	// (zero if not recorded).
+	ParamsHash [32]byte
+	Retention  RetentionPolicy
+	Sensors    []int
+	// Segments and Records count live (readable) data; Tombstones counts
+	// segments expired by retention, whose Merkle roots remain in the
+	// manifest chain.
+	Segments   int
+	Tombstones int
+	Records    int64
+	DataBytes  int64
+	// MinEndUS/MaxEndUS bound the live records' window end timestamps
+	// (valid only when Records > 0).
+	MinEndUS int64
+	MaxEndUS int64
+}
+
+// Stats summarises what a Reader can see across all runs.
 type Stats struct {
+	Runs     int
 	Segments int
-	Records  int64
+	// Tombstones counts retention-expired segments across all runs.
+	Tombstones int
+	Records    int64
 	// DataBytes counts valid record bytes including per-segment headers;
 	// DroppedBytes counts invalid tail bytes ignored during recovery.
 	DataBytes    int64
@@ -43,57 +95,210 @@ type Stats struct {
 }
 
 // OpenReader captures a consistent view of the store in dir. Sidecar
-// indexes are used when present and valid; otherwise segments are scanned
-// and a torn or corrupt tail is ignored (see Stats.DroppedBytes).
+// indexes are used when present and valid; a corrupt or truncated index
+// degrades to a full segment scan (correct results, counted by
+// IndexFallbacks), never a wrong seek. Sealed segments are checked
+// against their manifest entries: a size or record-count mismatch marks
+// the segment corrupt, and reads of it serve the valid prefix before
+// reporting a *CorruptionError.
 func OpenReader(dir string) (*Reader, error) {
-	segs, err := listSegments(dir)
+	mans, problems, err := loadManifests(dir)
 	if err != nil {
 		return nil, err
 	}
-	r := &Reader{dir: dir}
-	for _, n := range segs {
-		meta, dropped, err := loadSegMeta(dir, n, DefaultIndexEvery)
+	segsOnDisk, err := listSegments(dir)
+	if err != nil {
+		return nil, err
+	}
+	r := &Reader{dir: dir, manifestProblems: problems}
+	claimed := make(map[int]bool)
+	for _, m := range mans {
+		run := readerRun{man: m}
+		run.info = RunInfo{
+			ID:          m.RunID,
+			Finalized:   m.finalized(),
+			Recovered:   m.recovered(),
+			StartWallUS: m.StartWallUS,
+			EndWallUS:   m.EndWallUS,
+			ParamsHash:  m.ParamsHash,
+			Retention:   m.Retention,
+			Sensors:     append([]int(nil), m.Sensors...),
+		}
+		for i := range m.Segments {
+			e := &m.Segments[i]
+			claimed[e.Seg] = true
+			switch e.State {
+			case segExpired:
+				run.info.Tombstones++
+				continue
+			case segSealed:
+				seg, err := r.loadSealedSeg(e)
+				if err != nil {
+					return nil, err
+				}
+				run.addSeg(seg)
+			case segOpen:
+				// Unfinalized tail (live writer or not-yet-recovered
+				// crash): the torn tail, if any, is recoverable and
+				// tolerated, not corruption.
+				meta, dropped, fellBack, err := loadSegMeta(dir, e.Seg, DefaultIndexEvery)
+				if err != nil {
+					if errors.Is(err, fs.ErrNotExist) {
+						continue // claimed before creation; crash window
+					}
+					return nil, err
+				}
+				if fellBack {
+					r.indexFallbacks++
+				}
+				run.addSeg(readerSeg{n: e.Seg, path: filepath.Join(dir, segmentName(e.Seg)), meta: meta, dropped: dropped})
+			}
+		}
+		r.runs = append(r.runs, run)
+	}
+	// Segments no valid manifest claims form the legacy group (pre-manifest
+	// stores, or segments stranded by an unparseable manifest).
+	var legacy readerRun
+	legacy.info = RunInfo{ID: 0, Legacy: true, Finalized: true}
+	for _, n := range segsOnDisk {
+		if claimed[n] {
+			continue
+		}
+		meta, dropped, fellBack, err := loadSegMeta(dir, n, DefaultIndexEvery)
 		if err != nil {
 			return nil, err
 		}
-		r.segs = append(r.segs, readerSeg{
-			n:       n,
-			path:    filepath.Join(dir, segmentName(n)),
-			meta:    meta,
-			dropped: dropped,
-		})
+		if fellBack {
+			r.indexFallbacks++
+		}
+		legacy.addSeg(readerSeg{n: n, path: filepath.Join(dir, segmentName(n)), meta: meta, dropped: dropped})
 	}
+	if len(legacy.segs) > 0 {
+		sensors := make(map[int]struct{})
+		for _, s := range legacy.segs {
+			for id := range s.meta.Sensors {
+				sensors[id] = struct{}{}
+			}
+		}
+		for id := range sensors {
+			legacy.info.Sensors = append(legacy.info.Sensors, id)
+		}
+		sort.Ints(legacy.info.Sensors)
+		r.runs = append(r.runs, legacy)
+	}
+	sort.Slice(r.runs, func(i, j int) bool { return r.runs[i].info.ID < r.runs[j].info.ID })
 	return r, nil
 }
 
-// Stats aggregates the per-segment metadata.
+// addSeg appends seg to the run, folding it into the run's aggregates.
+func (run *readerRun) addSeg(seg readerSeg) {
+	run.segs = append(run.segs, seg)
+	run.info.Segments++
+	run.info.DataBytes += seg.meta.DataBytes
+	if seg.meta.Records > 0 {
+		if run.info.Records == 0 || seg.meta.MinEndUS < run.info.MinEndUS {
+			run.info.MinEndUS = seg.meta.MinEndUS
+		}
+		if run.info.Records == 0 || seg.meta.MaxEndUS > run.info.MaxEndUS {
+			run.info.MaxEndUS = seg.meta.MaxEndUS
+		}
+		run.info.Records += seg.meta.Records
+	}
+}
+
+// loadSealedSeg loads a sealed segment's metadata and cross-checks it
+// against the manifest entry — the CRC-protected, chain-committed
+// authority on what the segment must hold.
+func (r *Reader) loadSealedSeg(e *manifestSeg) (readerSeg, error) {
+	seg := readerSeg{n: e.Seg, path: filepath.Join(r.dir, segmentName(e.Seg))}
+	if _, err := os.Stat(filepath.Join(r.dir, indexName(e.Seg))); errors.Is(err, fs.ErrNotExist) {
+		// A sealed segment's sidecar should exist; scanning instead is the
+		// degraded path.
+		r.indexFallbacks++
+	}
+	meta, dropped, fellBack, err := loadSegMeta(r.dir, e.Seg, DefaultIndexEvery)
+	if err != nil {
+		if errors.Is(err, fs.ErrNotExist) {
+			seg.meta = newSegMeta()
+			seg.meta.DataBytes = 0
+			seg.corrupt = &CorruptionError{Segment: e.Seg, Offset: 0, Detail: "sealed segment file missing"}
+			return seg, nil
+		}
+		return seg, err
+	}
+	if fellBack {
+		r.indexFallbacks++
+	}
+	seg.meta, seg.dropped = meta, dropped
+	switch {
+	case dropped > 0:
+		seg.corrupt = &CorruptionError{Segment: e.Seg, Offset: meta.DataBytes,
+			Detail: fmt.Sprintf("%d invalid bytes in sealed segment", dropped)}
+	case meta.DataBytes != e.DataBytes || meta.Records != e.Records:
+		off := meta.DataBytes
+		if e.DataBytes < off {
+			off = e.DataBytes
+		}
+		seg.corrupt = &CorruptionError{Segment: e.Seg, Offset: off,
+			Detail: fmt.Sprintf("sealed segment holds %d records / %d bytes, manifest committed %d / %d",
+				meta.Records, meta.DataBytes, e.Records, e.DataBytes)}
+	}
+	return seg, nil
+}
+
+// Runs lists the directory's runs, ascending by ID (the legacy group, if
+// any, is ID 0 and sorts first).
+func (r *Reader) Runs() []RunInfo {
+	out := make([]RunInfo, len(r.runs))
+	for i := range r.runs {
+		out[i] = r.runs[i].info
+	}
+	return out
+}
+
+// IndexFallbacks reports how many segments had to be fully scanned
+// because their sidecar index was missing (sealed segments), corrupt or
+// truncated — the degraded-but-correct path.
+func (r *Reader) IndexFallbacks() int { return r.indexFallbacks }
+
+// ManifestProblems lists run manifests that failed to parse (their
+// segments appear under the legacy group).
+func (r *Reader) ManifestProblems() []string { return r.manifestProblems }
+
+// Stats aggregates the per-segment metadata across all runs.
 func (r *Reader) Stats() Stats {
 	var st Stats
-	st.Segments = len(r.segs)
-	for _, s := range r.segs {
-		st.DataBytes += s.meta.DataBytes
-		st.DroppedBytes += s.dropped
-		if s.meta.Records == 0 {
-			continue
+	st.Runs = len(r.runs)
+	for _, run := range r.runs {
+		st.Tombstones += run.info.Tombstones
+		for _, s := range run.segs {
+			st.Segments++
+			st.DataBytes += s.meta.DataBytes
+			st.DroppedBytes += s.dropped
+			if s.meta.Records == 0 {
+				continue
+			}
+			if st.Records == 0 || s.meta.MinEndUS < st.MinEndUS {
+				st.MinEndUS = s.meta.MinEndUS
+			}
+			if st.Records == 0 || s.meta.MaxEndUS > st.MaxEndUS {
+				st.MaxEndUS = s.meta.MaxEndUS
+			}
+			st.Records += s.meta.Records
 		}
-		if st.Records == 0 || s.meta.MinEndUS < st.MinEndUS {
-			st.MinEndUS = s.meta.MinEndUS
-		}
-		if st.Records == 0 || s.meta.MaxEndUS > st.MaxEndUS {
-			st.MaxEndUS = s.meta.MaxEndUS
-		}
-		st.Records += s.meta.Records
 	}
 	return st
 }
 
-// Sensors returns every sensor id with at least one stored record,
-// ascending.
+// Sensors returns every sensor id with at least one stored record in any
+// run, ascending.
 func (r *Reader) Sensors() []int {
 	set := make(map[int]struct{})
-	for _, s := range r.segs {
-		for id := range s.meta.Sensors {
-			set[id] = struct{}{}
+	for _, run := range r.runs {
+		for _, s := range run.segs {
+			for id := range s.meta.Sensors {
+				set[id] = struct{}{}
+			}
 		}
 	}
 	out := make([]int, 0, len(set))
@@ -104,14 +309,45 @@ func (r *Reader) Sensors() []int {
 	return out
 }
 
-// Scan returns an iterator over sensor's snapshots whose windows overlap
-// [t0, t1) — i.e. StartUS < t1 && EndUS > t0 — in append order, which is
-// frame order for a stream recorded through the pipeline Runner. Use
+// selectRun resolves a run selector. 0 selects the directory's sole run
+// (nil segs on an empty store) and returns ErrMultipleRuns when several
+// are present; anything else must match a listed run ID.
+func (r *Reader) selectRun(id uint64) (*readerRun, error) {
+	if id == 0 {
+		switch len(r.runs) {
+		case 0:
+			return nil, nil
+		case 1:
+			return &r.runs[0], nil
+		default:
+			return nil, fmt.Errorf("%w (%d runs; pass a run ID from Runs)", ErrMultipleRuns, len(r.runs))
+		}
+	}
+	for i := range r.runs {
+		if r.runs[i].info.ID == id && !r.runs[i].info.Legacy {
+			return &r.runs[i], nil
+		}
+	}
+	return nil, fmt.Errorf("store: unknown run %d", id)
+}
+
+// Scan returns an iterator over one run's snapshots for sensor whose
+// windows overlap [t0, t1) — i.e. StartUS < t1 && EndUS > t0 — in append
+// order, which is frame order for a stream recorded through the pipeline
+// Runner. run 0 selects the sole run (ErrMultipleRuns otherwise); use
 // t0 = 0, t1 = math.MaxInt64 for an unbounded scan.
-func (r *Reader) Scan(sensor int, t0, t1 int64) *Cursor {
+func (r *Reader) Scan(run uint64, sensor int, t0, t1 int64) (*Cursor, error) {
+	rr, err := r.selectRun(run)
+	if err != nil {
+		return nil, err
+	}
 	c := &Cursor{sensor: sensor, t0: t0, t1: t1}
-	c.stream = segStream{r: r, t0: t0, match: c.segMayMatch}
-	return c
+	var segs []readerSeg
+	if rr != nil {
+		segs = rr.segs
+	}
+	c.stream = segStream{segs: segs, t0: t0, match: c.segMayMatch}
+	return c, nil
 }
 
 // Cursor streams one sensor's matching snapshots (see Reader.Scan). The
@@ -143,10 +379,9 @@ func (c *Cursor) segMayMatch(s readerSeg) bool {
 // exhausted. A crash's torn tail never reaches Next — it is excluded from
 // the validated region at OpenReader — so a record failing validation
 // here means real post-seal damage (e.g. a bit flip under a sidecar index
-// that still matches the file size) and is reported as ErrCorrupt rather
-// than silently truncating the results. Run Verify to locate the damage;
-// reopening the store for append truncates it only when it sits in the
-// last segment.
+// that still matches the file size) and is reported as a *CorruptionError
+// naming the segment and offset, after the valid prefix has been served.
+// Run Verify to audit the whole store.
 func (c *Cursor) Next() (Snapshot, error) {
 	if c.done {
 		return Snapshot{}, io.EOF
@@ -191,18 +426,20 @@ func (c *Cursor) Close() error {
 var errSegmentEnd = errors.New("store: segment end")
 
 // segStream sequentially streams checksum-verified record payloads from a
-// Reader's segment chain: segments rejected by match are skipped, cold
+// run's segment chain: segments rejected by match are skipped, cold
 // prefixes are seeked past via the sparse index, and each surviving byte
 // is read exactly once. It is the shared low-level reader under both the
 // per-sensor Cursor and the replay merge; the counters feed ReplayStats.
 type segStream struct {
-	r     *Reader
+	segs  []readerSeg
 	t0    int64
 	match func(readerSeg) bool
 
 	segIdx    int // next segment to open
+	cur       readerSeg
 	f         *os.File
 	br        *bufio.Reader
+	off       int64 // file offset of the next unread byte
 	remaining int64 // valid data bytes left in the open segment
 	payload   []byte
 	opened    int64
@@ -225,7 +462,13 @@ func (s *segStream) next() ([]byte, error) {
 		}
 		payload, err := s.readRecord()
 		if err == errSegmentEnd {
+			// Valid prefix fully served; report any post-seal damage the
+			// Reader detected before moving on.
+			corrupt := s.cur.corrupt
 			s.close()
+			if corrupt != nil {
+				return nil, corrupt
+			}
 			continue
 		}
 		return payload, err
@@ -239,8 +482,8 @@ func (s *segStream) next() ([]byte, error) {
 // — permissions, disk errors — is surfaced rather than silently dropping
 // a whole segment from the results.
 func (s *segStream) openNextSegment() (bool, error) {
-	for s.segIdx < len(s.r.segs) {
-		seg := s.r.segs[s.segIdx]
+	for s.segIdx < len(s.segs) {
+		seg := s.segs[s.segIdx]
 		s.segIdx++
 		if !s.match(seg) {
 			continue
@@ -248,6 +491,9 @@ func (s *segStream) openNextSegment() (bool, error) {
 		f, err := os.Open(seg.path)
 		if err != nil {
 			if errors.Is(err, fs.ErrNotExist) {
+				if seg.corrupt != nil {
+					return false, seg.corrupt
+				}
 				continue
 			}
 			return false, fmt.Errorf("store: %w", err)
@@ -257,8 +503,10 @@ func (s *segStream) openNextSegment() (bool, error) {
 			f.Close()
 			return false, fmt.Errorf("store: seek %s: %w", seg.path, err)
 		}
+		s.cur = seg
 		s.f = f
 		s.br = bufio.NewReaderSize(f, 1<<16)
+		s.off = off
 		s.remaining = seg.meta.DataBytes - off
 		s.opened++
 		return true, nil
@@ -268,6 +516,8 @@ func (s *segStream) openNextSegment() (bool, error) {
 
 // readRecord reads one framed record's checksum-verified payload from the
 // open segment, returning errSegmentEnd at the end of its valid region.
+// Validation failures inside the region are typed with the segment and
+// the offending record's file offset.
 func (s *segStream) readRecord() ([]byte, error) {
 	if s.remaining < frameLen {
 		return nil, errSegmentEnd
@@ -279,7 +529,8 @@ func (s *segStream) readRecord() ([]byte, error) {
 	n := int64(le.Uint32(frame[0:4]))
 	sum := le.Uint32(frame[4:8])
 	if n > maxRecordBytes || frameLen+n > s.remaining {
-		return nil, fmt.Errorf("%w: frame length %d exceeds segment bounds", ErrCorrupt, n)
+		return nil, &CorruptionError{Segment: s.cur.n, Offset: s.off,
+			Detail: fmt.Sprintf("frame length %d exceeds segment bounds", n)}
 	}
 	if int64(cap(s.payload)) < n {
 		s.payload = make([]byte, n)
@@ -288,11 +539,12 @@ func (s *segStream) readRecord() ([]byte, error) {
 	if _, err := io.ReadFull(s.br, s.payload); err != nil {
 		return nil, fmt.Errorf("store: read: %w", err)
 	}
+	if payloadCRC(s.payload) != sum {
+		return nil, &CorruptionError{Segment: s.cur.n, Offset: s.off, Detail: "record checksum mismatch"}
+	}
+	s.off += frameLen + n
 	s.remaining -= frameLen + n
 	s.bytesRead += frameLen + n
-	if payloadCRC(s.payload) != sum {
-		return nil, fmt.Errorf("%w: checksum mismatch", ErrCorrupt)
-	}
 	return s.payload, nil
 }
 
@@ -303,11 +555,14 @@ func (s *segStream) close() {
 	}
 }
 
-// Replay returns an iterator merging the given sensors' snapshots in
-// (EndUS, Sensor, Frame) order across all segments — the canonical replay
-// order: globally non-decreasing in time, per-sensor in frame order, and
-// deterministic for any on-disk interleaving. A nil or empty sensor list
-// replays every sensor in the store.
+// Replay returns an iterator merging the given sensors' snapshots from
+// one run in (EndUS, Sensor, Frame) order across all its segments — the
+// canonical replay order: globally non-decreasing in time, per-sensor in
+// frame order, and deterministic for any on-disk interleaving. run 0
+// selects the sole run and fails with ErrMultipleRuns when the directory
+// holds several — interleaving runs into one timeline would be garbage,
+// since each run restarts the frame clock. A nil or empty sensor list
+// replays every sensor in the run.
 //
 // The merge is single-pass: every shared segment is opened and read
 // exactly once, with records demultiplexed into per-sensor queues as they
@@ -318,12 +573,22 @@ func (s *segStream) close() {
 // recording Runner bounds by its fan-in queue depth; replaying a store
 // whose sensors were written in long disjoint stretches trades that
 // memory for the eliminated re-reads.
-func (r *Reader) Replay(sensors []int, t0, t1 int64) (Iterator, error) {
-	if len(sensors) == 0 {
-		sensors = r.Sensors()
+func (r *Reader) Replay(run uint64, sensors []int, t0, t1 int64) (Iterator, error) {
+	rr, err := r.selectRun(run)
+	if err != nil {
+		return nil, err
 	}
-	m := &sharedMergeIterator{r: r, t0: t0, t1: t1, want: make(map[int]int, len(sensors)), pendingSeg: -1}
-	m.stream = segStream{r: r, t0: t0, match: m.segMayMatch}
+	var segs []readerSeg
+	var runSensors []int
+	if rr != nil {
+		segs = rr.segs
+		runSensors = rr.info.Sensors
+	}
+	if len(sensors) == 0 {
+		sensors = runSensors
+	}
+	m := &sharedMergeIterator{segs: segs, t0: t0, t1: t1, want: make(map[int]int, len(sensors)), pendingSeg: -1}
+	m.stream = segStream{segs: segs, t0: t0, match: m.segMayMatch}
 	for _, id := range sensors {
 		if id < 0 {
 			return nil, fmt.Errorf("store: negative sensor id %d", id)
@@ -339,8 +604,8 @@ func (r *Reader) Replay(sensors []int, t0, t1 int64) (Iterator, error) {
 
 // ReplayStats counts a replay's segment I/O, making read amplification
 // observable: a single-pass merge opens each matching segment once, so
-// SegmentsOpened stays at the store's segment count no matter how many
-// sensors merge, and BytesRead stays at the store's data size.
+// SegmentsOpened stays at the run's segment count no matter how many
+// sensors merge, and BytesRead stays at the run's data size.
 type ReplayStats struct {
 	SegmentsOpened int64
 	BytesRead      int64
@@ -357,8 +622,8 @@ type sensorQueue struct {
 	buf    []Snapshot
 	head   int
 	// lastEndUS/lastFrame track the most recently enqueued snapshot's
-	// clock, for the multi-run regression check and the empty-queue merge
-	// bound; valid when primed.
+	// clock, for the per-sensor monotonicity check and the empty-queue
+	// merge bound; valid when primed.
 	lastEndUS int64
 	lastFrame int
 	primed    bool
@@ -396,23 +661,23 @@ func (q *sensorQueue) pop() Snapshot {
 }
 
 // sharedMergeIterator implements the single-pass k-way merge: one
-// sequential reader over the segment chain feeds per-sensor queues, and
-// Next pops the (EndUS, Sensor, Frame)-minimal head once every sensor that
-// could still produce a smaller record has one buffered. Correctness of
-// the merge rests on each sensor's records being strictly increasing in
-// (EndUS, Frame) on disk — true for a single recorded run, where a
-// sensor's frame clock only moves forward. A store holding several
-// appended runs breaks that precondition (each run restarts the clock),
-// so the demultiplexer detects the regression and fails loudly instead of
-// interleaving snapshots from different runs into one timeline.
+// sequential reader over the run's segment chain feeds per-sensor queues,
+// and Next pops the (EndUS, Sensor, Frame)-minimal head once every sensor
+// that could still produce a smaller record has one buffered. Correctness
+// of the merge rests on each sensor's records being strictly increasing
+// in (EndUS, Frame) on disk — true within a single run, where a sensor's
+// frame clock only moves forward (run selection happens up front; see
+// ErrMultipleRuns). A regression inside one run means disordered or
+// damaged segments, so the demultiplexer still detects it and fails
+// loudly instead of emitting a garbled timeline.
 type sharedMergeIterator struct {
-	r      *Reader
+	segs   []readerSeg
 	t0, t1 int64
 	want   map[int]int // sensor id -> queue index
 	queues []sensorQueue
 	stream segStream
 	// dec amortizes decode allocations: the merge decodes every matching
-	// record in the store, so per-record name and box allocations would
+	// record in the run, so per-record name and box allocations would
 	// dominate the replay.
 	dec       snapDecoder
 	exhausted bool // every segment fully consumed
@@ -512,7 +777,7 @@ func (m *sharedMergeIterator) refreshPending() {
 	if from < 0 {
 		from = 0
 	}
-	remaining := m.r.segs[from:]
+	remaining := m.segs[from:]
 	for i := range m.queues {
 		q := &m.queues[i]
 		if !q.pending {
@@ -561,7 +826,7 @@ func (m *sharedMergeIterator) fill() error {
 			return err
 		}
 		if q.primed && (slot.EndUS < q.lastEndUS || (slot.EndUS == q.lastEndUS && slot.Frame <= q.lastFrame)) {
-			err := fmt.Errorf("store: sensor %d timestamps regress at frame %d (end %d us after %d us): store holds multiple runs; replay requires one run per directory",
+			err := fmt.Errorf("store: sensor %d timestamps regress at frame %d (end %d us after %d us): segments disordered or damaged within the run",
 				slot.Sensor, slot.Frame, slot.EndUS, q.lastEndUS)
 			q.unpush()
 			return err
@@ -609,45 +874,4 @@ func (m *sharedMergeIterator) Close() error {
 	m.exhausted = true
 	m.stream.close()
 	return nil
-}
-
-// VerifyReport summarises a full-store integrity check.
-type VerifyReport struct {
-	Segments int
-	Records  int64
-	// DataBytes counts validated bytes; DroppedBytes counts the invalid
-	// tail bytes that recovery would discard. Problems lists one line per
-	// affected segment.
-	DataBytes    int64
-	DroppedBytes int64
-	Problems     []string
-}
-
-// Clean reports whether every byte in the store validated.
-func (v VerifyReport) Clean() bool { return v.DroppedBytes == 0 }
-
-// Verify rescans every segment from disk — ignoring sidecar indexes — and
-// checks each record's framing, checksum and decodability. It never
-// modifies the store.
-func Verify(dir string) (VerifyReport, error) {
-	var rep VerifyReport
-	segs, err := listSegments(dir)
-	if err != nil {
-		return rep, err
-	}
-	rep.Segments = len(segs)
-	for _, n := range segs {
-		meta, dropped, err := scanSegment(filepath.Join(dir, segmentName(n)), DefaultIndexEvery)
-		if err != nil {
-			return rep, err
-		}
-		rep.Records += meta.Records
-		rep.DataBytes += meta.DataBytes
-		rep.DroppedBytes += dropped
-		if dropped > 0 {
-			rep.Problems = append(rep.Problems, fmt.Sprintf(
-				"%s: %d valid records, %d invalid tail bytes", segmentName(n), meta.Records, dropped))
-		}
-	}
-	return rep, nil
 }

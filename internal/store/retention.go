@@ -1,0 +1,125 @@
+package store
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"time"
+)
+
+// RetentionPolicy bounds a store directory by age and/or size. Expiry is
+// whole-segment only: a sealed segment past the age bound, or the oldest
+// sealed segments while the directory exceeds the size bound, are deleted
+// and replaced by manifest tombstones that keep the segment's Merkle root
+// and chain value — so the chained roots of every retained segment stay
+// provable (Verify recomputes the chain through tombstones without
+// touching the deleted bytes). The open segment is never expired.
+type RetentionPolicy struct {
+	// MaxAgeUS expires sealed segments older than this (measured from the
+	// wall-clock seal time). 0 disables age expiry.
+	MaxAgeUS int64
+	// MaxBytes expires oldest sealed segments while the live data bytes
+	// across all runs exceed this. 0 disables size expiry.
+	MaxBytes int64
+}
+
+func (p RetentionPolicy) enabled() bool { return p.MaxAgeUS > 0 || p.MaxBytes > 0 }
+
+// nowUS is the wall clock used for seal times and age expiry; a variable
+// so tests can drive retention deterministically.
+var nowUS = func() int64 { return time.Now().UnixMicro() }
+
+// retainCandidate is one sealed segment eligible for expiry.
+type retainCandidate struct {
+	man   *manifest
+	entry int
+}
+
+// applyRetention enforces pol over every manifest in mans (the live
+// writer's own included), expiring whole sealed segments oldest-first.
+// For each affected run the manifest is rewritten (tombstones recorded)
+// before the segment's data and index files are deleted, so a crash
+// between the two leaves only orphan files — removed by the next Open —
+// never a tombstone-less deletion. Returns the number of segments
+// expired.
+func applyRetention(dir string, mans []*manifest, pol RetentionPolicy, now int64) (int, error) {
+	if !pol.enabled() {
+		return 0, nil
+	}
+	var cands []retainCandidate
+	var liveBytes int64
+	for _, m := range mans {
+		for i := range m.Segments {
+			e := &m.Segments[i]
+			switch e.State {
+			case segSealed:
+				cands = append(cands, retainCandidate{man: m, entry: i})
+				liveBytes += e.DataBytes
+			case segOpen:
+				liveBytes += e.DataBytes
+			}
+		}
+	}
+	// Oldest first by seal time, ties broken by (run, segment) so the
+	// order is total and deterministic.
+	sort.Slice(cands, func(i, j int) bool {
+		a, b := cands[i].man.Segments[cands[i].entry], cands[j].man.Segments[cands[j].entry]
+		if a.SealedWallUS != b.SealedWallUS {
+			return a.SealedWallUS < b.SealedWallUS
+		}
+		if cands[i].man.RunID != cands[j].man.RunID {
+			return cands[i].man.RunID < cands[j].man.RunID
+		}
+		return a.Seg < b.Seg
+	})
+	touched := make(map[*manifest]struct{})
+	var expire []retainCandidate
+	for _, c := range cands {
+		e := &c.man.Segments[c.entry]
+		tooOld := pol.MaxAgeUS > 0 && e.SealedWallUS < now-pol.MaxAgeUS
+		tooBig := pol.MaxBytes > 0 && liveBytes > pol.MaxBytes
+		if !tooOld && !tooBig {
+			continue
+		}
+		e.State = segExpired
+		liveBytes -= e.DataBytes
+		expire = append(expire, c)
+		touched[c.man] = struct{}{}
+	}
+	if len(expire) == 0 {
+		return 0, nil
+	}
+	// Tombstones first, durably; then the files.
+	for m := range touched {
+		if err := writeManifestFile(dir, m); err != nil {
+			return 0, err
+		}
+	}
+	for _, c := range expire {
+		n := c.man.Segments[c.entry].Seg
+		if err := os.Remove(filepath.Join(dir, segmentName(n))); err != nil && !os.IsNotExist(err) {
+			return 0, fmt.Errorf("store: expire segment %d: %w", n, err)
+		}
+		if err := os.Remove(filepath.Join(dir, indexName(n))); err != nil && !os.IsNotExist(err) {
+			return 0, fmt.Errorf("store: expire index %d: %w", n, err)
+		}
+	}
+	if err := syncDir(dir); err != nil {
+		return 0, err
+	}
+	return len(expire), nil
+}
+
+// removeExpiredLeftovers deletes data/index files that a crashed
+// retention pass tombstoned but did not get to delete.
+func removeExpiredLeftovers(dir string, m *manifest) {
+	for i := range m.Segments {
+		if m.Segments[i].State != segExpired {
+			continue
+		}
+		n := m.Segments[i].Seg
+		os.Remove(filepath.Join(dir, segmentName(n)))
+		os.Remove(filepath.Join(dir, indexName(n)))
+	}
+}

@@ -36,6 +36,14 @@ func listSegments(dir string) ([]int, error) {
 // with DataBytes 0 (the whole file is the dropped tail); only I/O failures
 // return an error.
 func scanSegment(path string, indexEvery int) (meta *segMeta, dropped int64, err error) {
+	return scanSegmentFunc(path, indexEvery, nil)
+}
+
+// scanSegmentFunc is scanSegment with a per-record hook: onRecord is
+// invoked with each valid record's payload in order (valid until the next
+// invocation), which is how crash recovery and Verify fold the segment's
+// Merkle leaves while paying for a single pass.
+func scanSegmentFunc(path string, indexEvery int, onRecord func(payload []byte)) (meta *segMeta, dropped int64, err error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, 0, fmt.Errorf("store: %w", err)
@@ -87,6 +95,9 @@ func scanSegment(path string, indexEvery int) (meta *segMeta, dropped int64, err
 		if derr != nil {
 			break
 		}
+		if onRecord != nil {
+			onRecord(payload)
+		}
 		meta.note(snap, off, frameLen+n, indexEvery)
 		off += frameLen + n
 	}
@@ -97,17 +108,29 @@ func scanSegment(path string, indexEvery int) (meta *segMeta, dropped int64, err
 // sidecar index and falling back to a full scan when the sidecar is
 // missing, corrupt, version-skewed, or stale (its DataBytes no longer
 // matches the data file size — e.g. the segment is still being appended
-// to, or the sidecar survived a crash the data file did not).
-func loadSegMeta(dir string, n int, indexEvery int) (meta *segMeta, dropped int64, err error) {
+// to, or the sidecar survived a crash the data file did not). fellBack
+// reports that a sidecar was present but unusable — a bit flip or
+// truncation in the index degrades to a correct full scan, and the
+// Reader surfaces the count so the degradation is observable.
+func loadSegMeta(dir string, n int, indexEvery int) (meta *segMeta, dropped int64, fellBack bool, err error) {
 	dataPath := filepath.Join(dir, segmentName(n))
 	if raw, rerr := os.ReadFile(filepath.Join(dir, indexName(n))); rerr == nil {
-		if m, merr := unmarshalIndex(raw); merr == nil {
+		m, merr := unmarshalIndex(raw)
+		if merr == nil {
 			if fi, serr := os.Stat(dataPath); serr == nil && fi.Size() == m.DataBytes {
-				return m, 0, nil
+				return m, 0, false, nil
 			}
+			// Stale (size mismatch): the data file moved on without the
+			// sidecar — normal for a segment still being appended to, so
+			// not counted as a fallback.
+			meta, dropped, err = scanSegment(dataPath, indexEvery)
+			return meta, dropped, false, err
 		}
+		meta, dropped, err = scanSegment(dataPath, indexEvery)
+		return meta, dropped, true, err
 	}
-	return scanSegment(dataPath, indexEvery)
+	meta, dropped, err = scanSegment(dataPath, indexEvery)
+	return meta, dropped, false, err
 }
 
 // writeIndexFile persists meta as segment n's sidecar index and fsyncs it.

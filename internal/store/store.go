@@ -72,6 +72,16 @@ type Options struct {
 	// IndexEvery records (default DefaultIndexEvery). Smaller strides make
 	// time-bounded scans seek more precisely at the cost of index size.
 	IndexEvery int
+	// Retention bounds the directory's size and age (see RetentionPolicy).
+	// The zero value keeps everything. The active writer's policy governs
+	// the whole directory: it is recorded in the run manifest and applied
+	// at every rotation and at Close, expiring whole sealed segments
+	// (oldest first, across all runs) into tombstones.
+	Retention RetentionPolicy
+	// ParamsHash commits the pipeline parameter set that produced the run
+	// into its manifest, so a replayed run can be matched to its exact
+	// configuration. Zero means "not recorded".
+	ParamsHash [32]byte
 }
 
 // Defaults for Options fields left zero.
@@ -93,13 +103,37 @@ func (o Options) withDefaults() Options {
 	return o
 }
 
-// ErrCorrupt reports a record that failed framing, checksum or decode
-// validation inside the valid region of a segment. Corruption at the tail
-// of the last segment is not an error — it is recovered by truncation.
+// ErrCorrupt reports bytes that failed framing, checksum or decode
+// validation inside a region the store committed to. Corruption at the
+// tail of an unfinalized run's last segment is not an error — it is
+// recovered by truncation. Most corruption surfaces as a *CorruptionError
+// wrapping this sentinel, so errors.Is(err, ErrCorrupt) classifies it.
 var ErrCorrupt = errors.New("store: corrupt record")
 
 // ErrClosed reports use of a closed Writer.
 var ErrClosed = errors.New("store: writer closed")
+
+// ErrMultipleRuns reports a Scan/Replay/Prove with run selector 0 ("the
+// sole run") against a directory holding more than one run. Interleaving
+// runs into one timeline would be garbage — each run restarts the frame
+// clock — so the caller must pick a run (see Reader.Runs).
+var ErrMultipleRuns = errors.New("store: directory holds multiple runs; select one")
+
+// CorruptionError pinpoints post-seal damage: the segment and byte offset
+// at which validation first failed. It unwraps to ErrCorrupt. Readers
+// serve the valid prefix before returning it — damage is reported, never
+// silently skipped.
+type CorruptionError struct {
+	Segment int
+	Offset  int64
+	Detail  string
+}
+
+func (e *CorruptionError) Error() string {
+	return fmt.Sprintf("store: corrupt record: %s at offset %d: %s", segmentName(e.Segment), e.Offset, e.Detail)
+}
+
+func (e *CorruptionError) Unwrap() error { return ErrCorrupt }
 
 // Iterator yields stored snapshots until io.EOF. Iterators are
 // single-goroutine; Close releases the underlying file handles and is safe

@@ -7,7 +7,6 @@ import (
 	"os"
 	"path/filepath"
 	"reflect"
-	"strings"
 	"testing"
 
 	"ebbiot/internal/geometry"
@@ -33,7 +32,7 @@ func snap(sensor, frame int, frameUS int64) Snapshot {
 
 // writeStore records frames windows for each listed sensor, interleaved
 // round-robin per frame (the shape a multi-worker Runner produces), and
-// closes the writer.
+// closes the writer, finalizing the run.
 func writeStore(t *testing.T, dir string, opts Options, sensors []int, frames int, frameUS int64) {
 	t.Helper()
 	w, err := Open(dir, opts)
@@ -52,6 +51,24 @@ func writeStore(t *testing.T, dir string, opts Options, sensors []int, frames in
 	}
 }
 
+// crash simulates the process dying mid-run: buffered bytes reach the OS
+// (the drill truncates or flips them explicitly when it wants torn data),
+// but no sealing, finalization or manifest write happens, and the
+// directory lock is released so the same process can reopen the store the
+// way a restarted process would.
+func (w *Writer) crash() {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.closed = true
+	if w.f != nil {
+		w.bw.Flush()
+		w.f.Close()
+		w.f = nil
+	}
+	releaseDirLock(w.lock)
+	w.lock = nil
+}
+
 // collect drains an iterator.
 func collect(t *testing.T, it Iterator) []Snapshot {
 	t.Helper()
@@ -67,6 +84,17 @@ func collect(t *testing.T, it Iterator) []Snapshot {
 		}
 		out = append(out, s)
 	}
+}
+
+// scanRun opens a cursor over one run, failing the test on a selector
+// error.
+func scanRun(t *testing.T, r *Reader, run uint64, sensor int, t0, t1 int64) *Cursor {
+	t.Helper()
+	c, err := r.Scan(run, sensor, t0, t1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
 }
 
 func TestEncodeDecodeRoundTrip(t *testing.T) {
@@ -113,14 +141,21 @@ func TestWriteScanRoundTrip(t *testing.T) {
 		t.Fatalf("Sensors() = %v", got)
 	}
 	st := r.Stats()
-	if st.Records != 150 || st.DroppedBytes != 0 {
-		t.Fatalf("Stats() = %+v, want 150 records, 0 dropped", st)
+	if st.Runs != 1 || st.Records != 150 || st.DroppedBytes != 0 {
+		t.Fatalf("Stats() = %+v, want 1 run, 150 records, 0 dropped", st)
 	}
 	if st.MinEndUS != 66_000 || st.MaxEndUS != 50*66_000 {
 		t.Fatalf("Stats() bounds = [%d, %d]", st.MinEndUS, st.MaxEndUS)
 	}
+	runs := r.Runs()
+	if len(runs) != 1 || !runs[0].Finalized || runs[0].Recovered || runs[0].Records != 150 {
+		t.Fatalf("Runs() = %+v, want one finalized run with 150 records", runs)
+	}
+	if !reflect.DeepEqual(runs[0].Sensors, []int{0, 1, 2}) {
+		t.Fatalf("run sensors = %v", runs[0].Sensors)
+	}
 	for _, id := range []int{0, 1, 2} {
-		got := collect(t, r.Scan(id, 0, math.MaxInt64))
+		got := collect(t, scanRun(t, r, 0, id, 0, math.MaxInt64))
 		if len(got) != 50 {
 			t.Fatalf("sensor %d: %d records, want 50", id, len(got))
 		}
@@ -150,7 +185,7 @@ func TestScanTimeBoundsAndIndexSeek(t *testing.T) {
 		{1000 * frameUS, 2000 * frameUS}, // past the end
 		{60 * frameUS, 50 * frameUS},     // empty range
 	} {
-		got := collect(t, r.Scan(1, tc.t0, tc.t1))
+		got := collect(t, scanRun(t, r, 0, 1, tc.t0, tc.t1))
 		var want []Snapshot
 		for f := 0; f < 200; f++ {
 			s := snap(1, f, frameUS)
@@ -164,7 +199,7 @@ func TestScanTimeBoundsAndIndexSeek(t *testing.T) {
 	}
 }
 
-func TestSegmentRotationAndReopen(t *testing.T) {
+func TestSegmentRotationAndTwoRuns(t *testing.T) {
 	dir := t.TempDir()
 	opts := Options{SegmentBytes: 2048, IndexEvery: 8}
 	writeStore(t, dir, opts, []int{0}, 100, 66_000)
@@ -175,12 +210,15 @@ func TestSegmentRotationAndReopen(t *testing.T) {
 	if len(segs) < 3 {
 		t.Fatalf("only %d segments after 100 records with 2 KiB rotation", len(segs))
 	}
-	// Reopen and append a second batch in the same directory.
+	// Reopen: a second run recorded into the same directory.
 	w, err := Open(dir, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
-	for f := 100; f < 120; f++ {
+	if w.RunID() != 2 {
+		t.Fatalf("second Open got run %d, want 2", w.RunID())
+	}
+	for f := 0; f < 20; f++ {
 		if err := w.Append(snap(0, f, 66_000)); err != nil {
 			t.Fatal(err)
 		}
@@ -192,14 +230,32 @@ func TestSegmentRotationAndReopen(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	got := collect(t, r.Scan(0, 0, math.MaxInt64))
-	if len(got) != 120 {
-		t.Fatalf("%d records after reopen, want 120", len(got))
+	runs := r.Runs()
+	if len(runs) != 2 || runs[0].ID != 1 || runs[1].ID != 2 {
+		t.Fatalf("Runs() = %+v, want runs 1 and 2", runs)
 	}
-	for f, s := range got {
-		if s.Frame != f {
-			t.Fatalf("record %d has frame %d: append order broken across segments", f, s.Frame)
+	if runs[0].Records != 100 || runs[1].Records != 20 {
+		t.Fatalf("run records = %d, %d, want 100, 20", runs[0].Records, runs[1].Records)
+	}
+	// Each run is independently scannable; its frames start from 0.
+	for i, want := range []int{100, 20} {
+		got := collect(t, scanRun(t, r, runs[i].ID, 0, 0, math.MaxInt64))
+		if len(got) != want {
+			t.Fatalf("run %d: %d records, want %d", runs[i].ID, len(got), want)
 		}
+		for f, s := range got {
+			if s.Frame != f {
+				t.Fatalf("run %d record %d has frame %d: append order broken", runs[i].ID, f, s.Frame)
+			}
+		}
+	}
+	// Both runs verify independently.
+	rep, err := Verify(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Clean() || len(rep.Runs) != 2 {
+		t.Fatalf("Verify = %+v, want 2 clean runs", rep)
 	}
 }
 
@@ -229,7 +285,7 @@ func TestReplayMergesSensorsInTimestampOrder(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	it, err := r.Replay(nil, 0, math.MaxInt64)
+	it, err := r.Replay(0, nil, 0, math.MaxInt64)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -249,7 +305,7 @@ func TestReplayMergesSensorsInTimestampOrder(t *testing.T) {
 		perSensor[s.Sensor]++
 	}
 	// Sensor subset selection.
-	it, err = r.Replay([]int{1}, 0, math.MaxInt64)
+	it, err = r.Replay(0, []int{1}, 0, math.MaxInt64)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -264,45 +320,18 @@ func TestReplayMergesSensorsInTimestampOrder(t *testing.T) {
 // ran k sequential cursors (k x amplification).
 func TestReplaySinglePass(t *testing.T) {
 	dir := t.TempDir()
-	writeStore(t, dir, Options{SegmentBytes: 4096}, []int{0, 1, 2, 3}, 100, 66_000)
-	r, err := OpenReader(dir)
-	if err != nil {
-		t.Fatal(err)
-	}
-	st := r.Stats()
-	if st.Segments < 2 {
-		t.Fatalf("want a multi-segment store, got %d segments", st.Segments)
-	}
-	it, err := r.Replay(nil, 0, math.MaxInt64)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if got := collect(t, it); len(got) != 400 {
-		t.Fatalf("replay yielded %d records, want 400", len(got))
-	}
-	rs := it.(*sharedMergeIterator).Stats()
-	if rs.SegmentsOpened != int64(st.Segments) {
-		t.Fatalf("opened %d segments of %d: not single-pass", rs.SegmentsOpened, st.Segments)
-	}
-	if want := st.DataBytes - int64(st.Segments)*segHeaderLen; rs.BytesRead != want {
-		t.Fatalf("read %d bytes of %d stored: amplified", rs.BytesRead, want)
-	}
-	if rs.Records != 400 {
-		t.Fatalf("streamed %d records, want 400", rs.Records)
-	}
-	// Round-robin interleaving keeps the merge buffer near the sensor
-	// count, not the store size.
-	if rs.Buffered > 16 {
-		t.Fatalf("buffered %d snapshots for a round-robin store", rs.Buffered)
-	}
-
-	// A sensor whose records end early must not stall or disorder the
-	// merge (its last-seen clock lower-bounds its future records). Keep
-	// the small rotation so post-dropout records land in segments whose
-	// metadata provably lacks sensor 3.
+	// One run: 100 round-robin frames from 4 sensors, then 40 more with
+	// sensor 3 silent — a dropout must not stall or disorder the merge.
 	w, err := Open(dir, Options{SegmentBytes: 4096})
 	if err != nil {
 		t.Fatal(err)
+	}
+	for f := 0; f < 100; f++ {
+		for _, id := range []int{0, 1, 2, 3} {
+			if err := w.Append(snap(id, f, 66_000)); err != nil {
+				t.Fatal(err)
+			}
+		}
 	}
 	for f := 100; f < 140; f++ {
 		for _, id := range []int{0, 1, 2} { // sensor 3 goes silent
@@ -314,31 +343,44 @@ func TestReplaySinglePass(t *testing.T) {
 	if err := w.Close(); err != nil {
 		t.Fatal(err)
 	}
-	r, err = OpenReader(dir)
+	r, err := OpenReader(dir)
 	if err != nil {
 		t.Fatal(err)
 	}
-	it, err = r.Replay(nil, 0, math.MaxInt64)
+	st := r.Stats()
+	if st.Segments < 2 {
+		t.Fatalf("want a multi-segment store, got %d segments", st.Segments)
+	}
+	it, err := r.Replay(0, nil, 0, math.MaxInt64)
 	if err != nil {
 		t.Fatal(err)
 	}
 	got := collect(t, it)
-	if len(got) != 400+120 {
-		t.Fatalf("replay yielded %d records, want %d", len(got), 400+120)
+	if len(got) != 520 {
+		t.Fatalf("replay yielded %d records, want 520", len(got))
 	}
 	for i := 1; i < len(got); i++ {
 		if snapLess(&got[i], &got[i-1]) {
-			t.Fatalf("record %d out of order after sensor dropout", i)
+			t.Fatalf("record %d out of order", i)
 		}
 	}
-	// The dropout must not make the merge buffer the rest of the store:
-	// once the segment metadata shows no further segment holds sensor 3,
-	// its empty queue stops blocking pops. The bound is one segment's
-	// worth of records (the segment where the dropout happens), not the
-	// 120 post-dropout records.
-	rs = it.(*sharedMergeIterator).Stats()
+	rs := it.(*sharedMergeIterator).Stats()
+	if rs.SegmentsOpened != int64(st.Segments) {
+		t.Fatalf("opened %d segments of %d: not single-pass", rs.SegmentsOpened, st.Segments)
+	}
+	if want := st.DataBytes - int64(st.Segments)*segHeaderLen; rs.BytesRead != want {
+		t.Fatalf("read %d bytes of %d stored: amplified", rs.BytesRead, want)
+	}
+	if rs.Records != 520 {
+		t.Fatalf("streamed %d records, want 520", rs.Records)
+	}
+	// Round-robin interleaving keeps the merge buffer near the sensor
+	// count; the dropout must not make the merge buffer the rest of the
+	// store — once the segment metadata shows no further segment holds
+	// sensor 3, its empty queue stops blocking pops. The bound is one
+	// segment's worth of records, not the 120 post-dropout records.
 	if rs.Buffered > 100 {
-		t.Fatalf("buffered %d snapshots after sensor dropout: merge is not using segment metadata to release the silent sensor", rs.Buffered)
+		t.Fatalf("buffered %d snapshots: merge is not using segment metadata to release the silent sensor", rs.Buffered)
 	}
 }
 
@@ -354,7 +396,16 @@ func lastSegPath(t *testing.T, dir string) string {
 
 func TestRecoveryTruncatedTailRecord(t *testing.T) {
 	dir := t.TempDir()
-	writeStore(t, dir, Options{}, []int{0}, 20, 66_000)
+	w, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for f := 0; f < 20; f++ {
+		if err := w.Append(snap(0, f, 66_000)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	w.crash() // no seal, no finalize
 	path := lastSegPath(t, dir)
 	fi, err := os.Stat(path)
 	if err != nil {
@@ -364,27 +415,26 @@ func TestRecoveryTruncatedTailRecord(t *testing.T) {
 	if err := os.Truncate(path, fi.Size()-20); err != nil {
 		t.Fatal(err)
 	}
-	// The sealed sidecar index is now stale (DataBytes mismatch) and must
-	// be ignored in favour of a rescan.
+	// A reader sees the crashed run's valid prefix; the torn tail of an
+	// unfinalized run is recoverable, not corruption.
 	r, err := OpenReader(dir)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if got := collect(t, r.Scan(0, 0, math.MaxInt64)); len(got) != 19 {
+	if got := collect(t, scanRun(t, r, 0, 0, 0, math.MaxInt64)); len(got) != 19 {
 		t.Fatalf("reader sees %d records after torn tail, want 19", len(got))
 	}
 	if st := r.Stats(); st.DroppedBytes == 0 {
 		t.Fatalf("Stats() = %+v, want dropped tail bytes reported", st)
 	}
-	// Writer recovery physically truncates the tail and appends cleanly.
-	w, err := Open(dir, Options{})
+	// Reopening recovers the crashed run: tail truncated to the last valid
+	// record, run finalized with the recovered flag; appends go to a new
+	// run.
+	w, err = Open(dir, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if n := w.Records(); n != 19 {
-		t.Fatalf("writer recovered %d records, want 19", n)
-	}
-	if err := w.Append(snap(0, 19, 66_000)); err != nil {
+	if err := w.Append(snap(0, 0, 66_000)); err != nil {
 		t.Fatal(err)
 	}
 	if err := w.Close(); err != nil {
@@ -394,9 +444,13 @@ func TestRecoveryTruncatedTailRecord(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	got := collect(t, r.Scan(0, 0, math.MaxInt64))
-	if len(got) != 20 {
-		t.Fatalf("%d records after recovery+append, want 20", len(got))
+	runs := r.Runs()
+	if len(runs) != 2 || !runs[0].Recovered || runs[0].Records != 19 || runs[1].Records != 1 {
+		t.Fatalf("Runs() after recovery = %+v, want recovered 19-record run + 1-record run", runs)
+	}
+	got := collect(t, scanRun(t, r, runs[0].ID, 0, 0, math.MaxInt64))
+	if len(got) != 19 {
+		t.Fatalf("%d records in recovered run, want 19", len(got))
 	}
 	for f, s := range got {
 		if want := snap(0, f, 66_000); !reflect.DeepEqual(s, want) {
@@ -408,11 +462,56 @@ func TestRecoveryTruncatedTailRecord(t *testing.T) {
 	}
 }
 
-func TestRecoveryBitFlippedTail(t *testing.T) {
+func TestCrashedRunBitFlippedTailRecovered(t *testing.T) {
+	dir := t.TempDir()
+	w, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for f := 0; f < 20; f++ {
+		if err := w.Append(snap(0, f, 66_000)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	w.crash()
+	path := lastSegPath(t, dir)
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)-1] ^= 0x40
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// Recovery truncates the unfinalized run to the last valid record.
+	w, err = Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Verify(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Clean() || rep.Records != 19 {
+		t.Fatalf("Verify after recovery = %+v, want 19 clean records", rep)
+	}
+	r, err := OpenReader(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := collect(t, scanRun(t, r, 0, 0, 0, math.MaxInt64)); len(got) != 19 {
+		t.Fatalf("%d records after recovery, want 19", len(got))
+	}
+}
+
+func TestSealedSegmentDamageIsReportedNotRecovered(t *testing.T) {
 	dir := t.TempDir()
 	writeStore(t, dir, Options{}, []int{0}, 20, 66_000)
 	path := lastSegPath(t, dir)
-	// Flip one payload byte inside the final record.
+	// Flip one payload byte inside the final record of the finalized run.
 	raw, err := os.ReadFile(path)
 	if err != nil {
 		t.Fatal(err)
@@ -425,17 +524,16 @@ func TestRecoveryBitFlippedTail(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if rep.Clean() || rep.Records != 19 {
-		t.Fatalf("Verify = %+v, want 19 valid records and a flagged tail", rep)
+	if rep.Clean() {
+		t.Fatalf("Verify = %+v, want the flipped bit flagged", rep)
 	}
-	// The sealed sidecar index still matches the file size, so the damage
-	// sits inside the trusted region: the scan must surface ErrCorrupt
-	// after the intact prefix, never silently truncate.
+	// Scans serve the intact prefix, then surface a typed error naming the
+	// damage — never silent truncation.
 	r, err := OpenReader(dir)
 	if err != nil {
 		t.Fatal(err)
 	}
-	it := r.Scan(0, 0, math.MaxInt64)
+	it := scanRun(t, r, 0, 0, 0, math.MaxInt64)
 	var got []Snapshot
 	var scanErr error
 	for {
@@ -450,6 +548,10 @@ func TestRecoveryBitFlippedTail(t *testing.T) {
 	if !errors.Is(scanErr, ErrCorrupt) {
 		t.Fatalf("scan over bit-flipped sealed segment ended with %v, want ErrCorrupt", scanErr)
 	}
+	var ce *CorruptionError
+	if !errors.As(scanErr, &ce) || ce.Segment == 0 {
+		t.Fatalf("scan error %v is not a *CorruptionError naming the segment", scanErr)
+	}
 	if len(got) != 19 {
 		t.Fatalf("scan yielded %d records before the corruption, want 19", len(got))
 	}
@@ -458,8 +560,9 @@ func TestRecoveryBitFlippedTail(t *testing.T) {
 			t.Fatalf("frame %d damaged: %+v", f, s)
 		}
 	}
-	// Writer recovery truncates the bad tail; the store then reads and
-	// verifies clean with all prior records intact.
+	// A finalized run is immutable: reopening the store for append must
+	// NOT truncate the damage away — it belongs to a sealed segment whose
+	// manifest entry still committed to the full content.
 	w, err := Open(dir, Options{})
 	if err != nil {
 		t.Fatal(err)
@@ -467,21 +570,17 @@ func TestRecoveryBitFlippedTail(t *testing.T) {
 	if err := w.Close(); err != nil {
 		t.Fatal(err)
 	}
-	if rep, err := Verify(dir); err != nil || !rep.Clean() || rep.Records != 19 {
-		t.Fatalf("Verify after writer recovery: %+v, %v", rep, err)
-	}
-	r, err = OpenReader(dir)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if got := collect(t, r.Scan(0, 0, math.MaxInt64)); len(got) != 19 {
-		t.Fatalf("%d records after recovery, want 19", len(got))
+	if rep, err := Verify(dir); err != nil || rep.Clean() {
+		t.Fatalf("Verify after reopen = %+v, %v: finalized-run damage must persist and stay reported", rep, err)
 	}
 }
 
 func TestReplayRejectsMultiRunStore(t *testing.T) {
-	// Two runs appended to one directory restart the frame clock; Replay
-	// must refuse to interleave them rather than emit a broken timeline.
+	// Two runs in one directory each restart the frame clock; replaying
+	// them interleaved would be a broken timeline, so a selector-less
+	// replay (run 0 = "the sole run") must fail fast with the typed
+	// sentinel — the pre-manifest store rejected this only after streaming
+	// far enough to see timestamps regress.
 	dir := t.TempDir()
 	writeStore(t, dir, Options{}, []int{0}, 10, 66_000)
 	writeStore(t, dir, Options{}, []int{0}, 10, 66_000)
@@ -489,21 +588,24 @@ func TestReplayRejectsMultiRunStore(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	it, err := r.Replay(nil, 0, math.MaxInt64)
-	if err == nil {
-		for {
-			if _, err = it.Next(); err != nil {
-				break
-			}
+	if _, err := r.Replay(0, nil, 0, math.MaxInt64); !errors.Is(err, ErrMultipleRuns) {
+		t.Fatalf("selector-less replay of 2-run store: %v, want ErrMultipleRuns", err)
+	}
+	if _, err := r.Scan(0, 0, 0, math.MaxInt64); !errors.Is(err, ErrMultipleRuns) {
+		t.Fatalf("selector-less scan of 2-run store: %v, want ErrMultipleRuns", err)
+	}
+	// With an explicit selector each run replays independently.
+	for _, ri := range r.Runs() {
+		it, err := r.Replay(ri.ID, nil, 0, math.MaxInt64)
+		if err != nil {
+			t.Fatal(err)
 		}
-		it.Close()
+		if got := collect(t, it); len(got) != 10 {
+			t.Fatalf("run %d replay yielded %d records, want 10", ri.ID, len(got))
+		}
 	}
-	if err == io.EOF || err == nil || !strings.Contains(err.Error(), "multiple runs") {
-		t.Fatalf("multi-run replay ended with %v, want a timestamps-regress error", err)
-	}
-	// Per-sensor Scan still works in append order across both runs.
-	if got := collect(t, r.Scan(0, 0, math.MaxInt64)); len(got) != 20 {
-		t.Fatalf("Scan over multi-run store yielded %d records, want 20", len(got))
+	if _, err := r.Replay(99, nil, 0, math.MaxInt64); err == nil {
+		t.Fatal("replay of unknown run succeeded")
 	}
 }
 
@@ -514,7 +616,10 @@ func TestReaderRebuildsMissingIndex(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	want := collect(t, withIdx.Scan(1, 10*66_000, 30*66_000))
+	if fb := withIdx.IndexFallbacks(); fb != 0 {
+		t.Fatalf("IndexFallbacks = %d on an intact store", fb)
+	}
+	want := collect(t, scanRun(t, withIdx, 0, 1, 10*66_000, 30*66_000))
 	idxFiles, err := filepath.Glob(filepath.Join(dir, "*.idx"))
 	if err != nil || len(idxFiles) == 0 {
 		t.Fatalf("no sidecar indexes written (%v)", err)
@@ -528,9 +633,12 @@ func TestReaderRebuildsMissingIndex(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	got := collect(t, rebuilt.Scan(1, 10*66_000, 30*66_000))
+	got := collect(t, scanRun(t, rebuilt, 0, 1, 10*66_000, 30*66_000))
 	if !reflect.DeepEqual(got, want) {
 		t.Fatalf("scan differs without sidecar indexes: %d vs %d records", len(got), len(want))
+	}
+	if fb := rebuilt.IndexFallbacks(); fb != len(idxFiles) {
+		t.Fatalf("IndexFallbacks = %d with %d sidecars removed", fb, len(idxFiles))
 	}
 	// A corrupt sidecar is likewise ignored, not trusted.
 	segs, _ := listSegments(dir)
@@ -541,8 +649,11 @@ func TestReaderRebuildsMissingIndex(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if got := collect(t, r.Scan(1, 10*66_000, 30*66_000)); !reflect.DeepEqual(got, want) {
+	if got := collect(t, scanRun(t, r, 0, 1, 10*66_000, 30*66_000)); !reflect.DeepEqual(got, want) {
 		t.Fatal("scan differs with corrupt sidecar index")
+	}
+	if fb := r.IndexFallbacks(); fb != len(idxFiles) {
+		t.Fatalf("IndexFallbacks = %d, want %d", fb, len(idxFiles))
 	}
 }
 
@@ -566,6 +677,39 @@ func TestWriterRejectsInvalidSnapshots(t *testing.T) {
 	}
 	if err := w.Append(snap(0, 0, 66_000)); !errors.Is(err, ErrClosed) {
 		t.Fatalf("Append after Close = %v, want ErrClosed", err)
+	}
+}
+
+// TestEmptyRunDiscarded pins the Close contract: a run that recorded
+// nothing leaves no manifest and no segment behind.
+func TestEmptyRunDiscarded(t *testing.T) {
+	dir := t.TempDir()
+	w, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if e.Name() != lockFileName {
+			t.Fatalf("empty run left %s behind", e.Name())
+		}
+	}
+	r, err := OpenReader(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Runs()) != 0 {
+		t.Fatalf("Runs() = %+v after an empty run", r.Runs())
+	}
+	// Selector 0 on an empty store scans nothing rather than erroring.
+	if got := collect(t, scanRun(t, r, 0, 0, 0, math.MaxInt64)); len(got) != 0 {
+		t.Fatalf("empty store scan yielded %d records", len(got))
 	}
 }
 
@@ -609,10 +753,54 @@ func TestSyncEveryDurability(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if got := collect(t, r.Scan(0, 0, math.MaxInt64)); len(got) != 10 {
+	if got := collect(t, scanRun(t, r, 0, 0, 0, math.MaxInt64)); len(got) != 10 {
 		t.Fatalf("mid-run reader sees %d records with SyncEvery=1, want 10", len(got))
+	}
+	if runs := r.Runs(); len(runs) != 1 || runs[0].Finalized {
+		t.Fatalf("mid-run Runs() = %+v, want one unfinalized run", runs)
 	}
 	if err := w.Close(); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestLegacySegmentsReadable pins backward compatibility: segments with
+// no manifest (a pre-manifest store) group as legacy run 0 — scannable
+// and replayable, with Verify validating frames but no roots.
+func TestLegacySegmentsReadable(t *testing.T) {
+	dir := t.TempDir()
+	writeStore(t, dir, Options{SegmentBytes: 2048}, []int{0, 1}, 40, 66_000)
+	// Strip the manifest: what remains is exactly a pre-manifest store.
+	mans, _ := filepath.Glob(filepath.Join(dir, "run-*.mf"))
+	if len(mans) != 1 {
+		t.Fatalf("expected 1 manifest, found %v", mans)
+	}
+	if err := os.Remove(mans[0]); err != nil {
+		t.Fatal(err)
+	}
+	r, err := OpenReader(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	runs := r.Runs()
+	if len(runs) != 1 || !runs[0].Legacy || runs[0].ID != 0 {
+		t.Fatalf("Runs() = %+v, want one legacy group", runs)
+	}
+	if got := collect(t, scanRun(t, r, 0, 1, 0, math.MaxInt64)); len(got) != 40 {
+		t.Fatalf("legacy scan yielded %d records, want 40", len(got))
+	}
+	it, err := r.Replay(0, nil, 0, math.MaxInt64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := collect(t, it); len(got) != 80 {
+		t.Fatalf("legacy replay yielded %d records, want 80", len(got))
+	}
+	rep, err := Verify(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Clean() || len(rep.Runs) != 1 || !rep.Runs[0].Legacy {
+		t.Fatalf("Verify = %+v, want one clean legacy group", rep)
 	}
 }

@@ -1,0 +1,342 @@
+package store
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+)
+
+// RunVerify is one run's share of a Verify report.
+type RunVerify struct {
+	ID        uint64
+	Legacy    bool
+	Finalized bool
+	Recovered bool
+	// Segments counts live segments checked; Tombstones counts expired
+	// entries whose chain link was verified from the recorded root.
+	Segments   int
+	Tombstones int
+	Records    int64
+	DataBytes  int64
+	// TornTailBytes counts recoverable invalid bytes at the tail of an
+	// unfinalized run's open segment — not damage, just an un-recovered
+	// crash (or legacy-store recovery region).
+	TornTailBytes int64
+	// Problems lists integrity violations: root or chain mismatches,
+	// size/record divergence from the manifest, invalid bytes in sealed
+	// segments, damaged or missing sidecar indexes.
+	Problems []string
+}
+
+// VerifyReport summarises a full-store integrity audit.
+type VerifyReport struct {
+	Runs []RunVerify
+	// Problems lists directory-level violations: manifests that failed
+	// their checksum or declared the wrong run.
+	Problems  []string
+	Records   int64
+	DataBytes int64
+}
+
+// Clean reports whether the audit found no integrity violations.
+func (v VerifyReport) Clean() bool {
+	if len(v.Problems) > 0 {
+		return false
+	}
+	for _, r := range v.Runs {
+		if len(r.Problems) > 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Verify audits every run in dir against its manifest: each sealed
+// segment is rescanned from disk, its Merkle root recomputed over the
+// record hashes and compared to the manifest's, the chain of roots
+// re-derived through sealed and tombstoned entries alike, sizes and
+// record counts cross-checked, and sidecar indexes validated. Legacy
+// segments (no manifest) get frame/CRC validation only. Verify never
+// modifies the store.
+//
+// Integrity violations — any single flipped bit in a segment, index or
+// manifest byte — land in the report's Problems; only environmental I/O
+// failures (permissions, disk errors) return a non-nil error. The
+// ebbiot-query CLI maps the three outcomes to exit codes 0/1/2.
+func Verify(dir string) (VerifyReport, error) {
+	var rep VerifyReport
+	mans, problems, err := loadManifests(dir)
+	if err != nil {
+		return rep, err
+	}
+	rep.Problems = problems
+	segsOnDisk, err := listSegments(dir)
+	if err != nil {
+		return rep, err
+	}
+	claimed := make(map[int]bool)
+	for _, m := range mans {
+		rv, verr := verifyRun(dir, m, claimed)
+		if verr != nil {
+			return rep, verr
+		}
+		rep.Records += rv.Records
+		rep.DataBytes += rv.DataBytes
+		rep.Runs = append(rep.Runs, rv)
+	}
+	// Unclaimed segments: the legacy group. No roots to check — validate
+	// framing and checksums, as the pre-manifest Verify did.
+	var legacy RunVerify
+	legacy.Legacy = true
+	legacy.Finalized = true
+	for _, n := range segsOnDisk {
+		if claimed[n] {
+			continue
+		}
+		meta, dropped, serr := scanSegment(filepath.Join(dir, segmentName(n)), DefaultIndexEvery)
+		if serr != nil {
+			return rep, serr
+		}
+		legacy.Segments++
+		legacy.Records += meta.Records
+		legacy.DataBytes += meta.DataBytes
+		if dropped > 0 {
+			legacy.Problems = append(legacy.Problems, fmt.Sprintf(
+				"%s: %d valid records, %d invalid bytes", segmentName(n), meta.Records, dropped))
+		}
+	}
+	if legacy.Segments > 0 {
+		rep.Records += legacy.Records
+		rep.DataBytes += legacy.DataBytes
+		rep.Runs = append(rep.Runs, RunVerify{})
+		copy(rep.Runs[1:], rep.Runs[:len(rep.Runs)-1])
+		rep.Runs[0] = legacy
+	}
+	return rep, nil
+}
+
+// verifyRun audits one manifest-described run.
+func verifyRun(dir string, m *manifest, claimed map[int]bool) (RunVerify, error) {
+	rv := RunVerify{ID: m.RunID, Finalized: m.finalized(), Recovered: m.recovered()}
+	prob := func(format string, args ...any) {
+		rv.Problems = append(rv.Problems, fmt.Sprintf(format, args...))
+	}
+	prev := runSeed(m.RunID)
+	openSeen := false
+	for i := range m.Segments {
+		e := &m.Segments[i]
+		claimed[e.Seg] = true
+		switch e.State {
+		case segExpired:
+			// The bytes are gone by design; the tombstone's recorded root
+			// must still link the chain so every retained successor
+			// remains provable.
+			if chainHash(prev, e.Root) != e.Chain {
+				prob("%s (tombstone): chain mismatch", segmentName(e.Seg))
+			}
+			prev = e.Chain
+			rv.Tombstones++
+
+		case segSealed:
+			var acc merkleAcc
+			meta, dropped, serr := scanSegmentFunc(filepath.Join(dir, segmentName(e.Seg)), DefaultIndexEvery,
+				func(p []byte) { acc.add(leafHash(p)) })
+			if serr != nil {
+				if errors.Is(serr, fs.ErrNotExist) {
+					prob("%s: sealed segment file missing", segmentName(e.Seg))
+					prev = e.Chain
+					continue
+				}
+				return rv, serr
+			}
+			rv.Segments++
+			rv.Records += meta.Records
+			rv.DataBytes += meta.DataBytes
+			if dropped > 0 {
+				prob("%s: %d invalid bytes at offset %d", segmentName(e.Seg), dropped, meta.DataBytes)
+			}
+			if meta.Records != e.Records || meta.DataBytes != e.DataBytes {
+				prob("%s: holds %d records / %d bytes, manifest committed %d / %d",
+					segmentName(e.Seg), meta.Records, meta.DataBytes, e.Records, e.DataBytes)
+			}
+			if root := acc.root(); root != e.Root {
+				prob("%s: Merkle root mismatch", segmentName(e.Seg))
+			}
+			// Chain is re-derived from the manifest's roots (not the
+			// recomputed one) so one damaged segment yields one root
+			// problem, not a cascade down the rest of the run.
+			if chainHash(prev, e.Root) != e.Chain {
+				prob("%s: chain mismatch", segmentName(e.Seg))
+			}
+			prev = e.Chain
+			verifyIndexFile(dir, e, meta, prob)
+
+		case segOpen:
+			if openSeen {
+				prob("%s: second open segment in manifest", segmentName(e.Seg))
+			}
+			openSeen = true
+			if m.finalized() {
+				prob("%s: open segment in a finalized run", segmentName(e.Seg))
+			}
+			meta, dropped, serr := scanSegment(filepath.Join(dir, segmentName(e.Seg)), DefaultIndexEvery)
+			if serr != nil {
+				if errors.Is(serr, fs.ErrNotExist) {
+					continue // claimed before creation; crash window
+				}
+				return rv, serr
+			}
+			rv.Segments++
+			rv.Records += meta.Records
+			rv.DataBytes += meta.DataBytes
+			rv.TornTailBytes += dropped
+		}
+	}
+	return rv, nil
+}
+
+// verifyIndexFile validates a sealed segment's sidecar against the
+// rescanned metadata. The sidecar is a cache for reads (a bad one only
+// degrades to a scan), but it is part of the store's bytes, so Verify
+// holds it to the same standard: missing, unparseable, or disagreeing
+// with the data is a problem.
+func verifyIndexFile(dir string, e *manifestSeg, meta *segMeta, prob func(string, ...any)) {
+	raw, err := os.ReadFile(filepath.Join(dir, indexName(e.Seg)))
+	if err != nil {
+		if errors.Is(err, fs.ErrNotExist) {
+			prob("%s: sidecar index missing", indexName(e.Seg))
+		} else {
+			prob("%s: %v", indexName(e.Seg), err)
+		}
+		return
+	}
+	im, err := unmarshalIndex(raw)
+	if err != nil {
+		prob("%s: %v", indexName(e.Seg), err)
+		return
+	}
+	if im.DataBytes != meta.DataBytes || im.Records != meta.Records ||
+		im.MinEndUS != meta.MinEndUS || im.MaxEndUS != meta.MaxEndUS {
+		prob("%s: index disagrees with segment data", indexName(e.Seg))
+	}
+}
+
+// InclusionProof proves one snapshot's membership in a sealed segment of
+// a run: fold Leaf up Path to reproduce Root, then confirm Root is the
+// ChainIndex-th link of the run's manifest chain. Produced by Prove,
+// checked by its Verify method (and by any external verifier holding only
+// the manifest).
+type InclusionProof struct {
+	Run     uint64
+	Seq     int64 // run-wide record ordinal, 0-based, stable under retention
+	Segment int
+	Index   int   // leaf index within the segment
+	Leaves  int64 // leaf count of the segment tree
+	Leaf    [hashSize]byte
+	Path    [][hashSize]byte
+	Root    [hashSize]byte
+	Chain   [hashSize]byte
+	// Snapshot is the decoded record the proof covers.
+	Snapshot Snapshot
+}
+
+// Verify re-folds the proof, reporting whether Leaf at Index is contained
+// in the tree committing to Root.
+func (p *InclusionProof) Verify() bool {
+	return verifyInclusion(p.Leaf, p.Index, int(p.Leaves), p.Path, p.Root)
+}
+
+// Prove builds an inclusion proof for record seq of the selected run
+// (run 0 = the sole run). seq counts records across the run's segments in
+// append order, including expired ones — so a record's seq never changes
+// as retention proceeds — but a seq landing in a tombstone is an error:
+// the bytes are gone, only the segment root survives.
+func Prove(dir string, run uint64, seq int64) (*InclusionProof, error) {
+	mans, problems, err := loadManifests(dir)
+	if err != nil {
+		return nil, err
+	}
+	var m *manifest
+	if run == 0 {
+		if len(mans) != 1 || len(problems) > 0 {
+			return nil, fmt.Errorf("%w (%d runs; pass a run ID)", ErrMultipleRuns, len(mans)+len(problems))
+		}
+		m = mans[0]
+	} else {
+		for _, c := range mans {
+			if c.RunID == run {
+				m = c
+				break
+			}
+		}
+		if m == nil {
+			return nil, fmt.Errorf("store: unknown run %d", run)
+		}
+	}
+	if seq < 0 {
+		return nil, fmt.Errorf("store: negative record seq %d", seq)
+	}
+	var base int64
+	for i := range m.Segments {
+		e := &m.Segments[i]
+		if e.State == segOpen {
+			continue // not yet committed to the chain
+		}
+		if seq >= base+e.Records {
+			base += e.Records
+			continue
+		}
+		if e.State == segExpired {
+			return nil, fmt.Errorf("store: record %d of run %d expired with %s (root retained in tombstone)",
+				seq, m.RunID, segmentName(e.Seg))
+		}
+		return proveInSegment(dir, m, e, seq, seq-base)
+	}
+	return nil, fmt.Errorf("store: run %d has %d sealed records, seq %d out of range", m.RunID, base, seq)
+}
+
+// proveInSegment scans one sealed segment, collecting leaves and the
+// target payload, and assembles the proof.
+func proveInSegment(dir string, m *manifest, e *manifestSeg, seq, idx int64) (*InclusionProof, error) {
+	leaves := make([][hashSize]byte, 0, e.Records)
+	var payload []byte
+	meta, dropped, err := scanSegmentFunc(filepath.Join(dir, segmentName(e.Seg)), DefaultIndexEvery, func(p []byte) {
+		if int64(len(leaves)) == idx {
+			payload = bytes.Clone(p)
+		}
+		leaves = append(leaves, leafHash(p))
+	})
+	if err != nil {
+		return nil, err
+	}
+	if dropped > 0 || meta.Records != e.Records || payload == nil {
+		return nil, &CorruptionError{Segment: e.Seg, Offset: meta.DataBytes,
+			Detail: fmt.Sprintf("segment holds %d valid records, manifest committed %d", meta.Records, e.Records)}
+	}
+	if merkleRoot(leaves) != e.Root {
+		return nil, &CorruptionError{Segment: e.Seg, Offset: segHeaderLen, Detail: "Merkle root mismatch"}
+	}
+	snap, err := decodeSnapshot(payload)
+	if err != nil {
+		return nil, err
+	}
+	p := &InclusionProof{
+		Run:      m.RunID,
+		Seq:      seq,
+		Segment:  e.Seg,
+		Index:    int(idx),
+		Leaves:   e.Records,
+		Leaf:     leaves[idx],
+		Path:     merklePath(leaves, int(idx)),
+		Root:     e.Root,
+		Chain:    e.Chain,
+		Snapshot: snap,
+	}
+	if !p.Verify() {
+		return nil, fmt.Errorf("store: internal error: generated proof does not verify")
+	}
+	return p, nil
+}
