@@ -47,7 +47,8 @@ bench-json:
 		| $(GO) run ./cmd/ebbiot-benchfmt -o BENCH.json -tee
 
 # Regression gate: measure ONLY the gated benchmarks (median, downsample,
-# the fused ProcessWindow path) de-noised, then diff against BENCH_OLD
+# histograms, popcount, the fused ProcessWindow path) de-noised, then diff
+# against BENCH_OLD
 # (default: the committed baseline snapshot). Any gated benchmark slowing
 # down more than BENCH_TOLERANCE percent on ns/op fails the target.
 # Refresh the baseline deliberately with `BENCHTIME=300ms BENCHCOUNT=5
@@ -65,14 +66,15 @@ bench-json:
 # snapshot from another machine or day, expect drift — override
 # BENCH_TOLERANCE or refresh the baseline.
 BENCH_TOLERANCE ?= 15
-BENCH_MATCH ?= Median|Downsample|ProcessWindow
+BENCH_MATCH ?= Median|Downsample|Histograms|Popcount|ProcessWindow
 BENCH_OLD ?= BENCH_baseline.json
+BENCH_MIN_NS ?= 2000
 bench-compare:
 	$(GO) test -run xxx -bench '$(BENCH_MATCH)' -benchmem -benchtime 300ms -count 5 \
 		./internal/imgproc/ ./internal/ebbi/ ./internal/core/ ./internal/store/ \
 		| $(GO) run ./cmd/ebbiot-benchfmt -o BENCH.json -tee
 	$(GO) run ./cmd/ebbiot-benchfmt compare -tolerance $(BENCH_TOLERANCE) \
-		-match '$(BENCH_MATCH)' $(BENCH_OLD) BENCH.json
+		-min-ns $(BENCH_MIN_NS) -match '$(BENCH_MATCH)' $(BENCH_OLD) BENCH.json
 
 # The authoritative regression gate (what CI runs on PRs): interleaved
 # A/B comparison of two source trees on this machine — alternating

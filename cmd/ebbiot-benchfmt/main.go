@@ -153,9 +153,10 @@ func parse(f io.Reader, tee bool) ([]Result, error) {
 func runCompare(args []string) int {
 	fs := flag.NewFlagSet("compare", flag.ExitOnError)
 	tol := fs.Float64("tolerance", 15, "allowed ns/op slowdown in percent before failing")
+	minNS := fs.Float64("min-ns", 0, "ns/op floor: slowdowns on benchmarks faster than this (both sides) are reported but never fail")
 	match := fs.String("match", "", "regexp limiting the comparison to matching benchmark names")
 	fs.Usage = func() {
-		fmt.Fprintln(os.Stderr, "usage: ebbiot-benchfmt compare [-tolerance pct] [-match regexp] old.json new.json")
+		fmt.Fprintln(os.Stderr, "usage: ebbiot-benchfmt compare [-tolerance pct] [-min-ns ns] [-match regexp] old.json new.json")
 		fs.PrintDefaults()
 	}
 	_ = fs.Parse(args)
@@ -181,7 +182,7 @@ func runCompare(args []string) int {
 		fmt.Fprintln(os.Stderr, "ebbiot-benchfmt:", err)
 		return 2
 	}
-	regressions := compare(os.Stdout, old, cur, *tol, re)
+	regressions := compare(os.Stdout, old, cur, *tol, *minNS, re)
 	if regressions > 0 {
 		fmt.Fprintf(os.Stderr, "ebbiot-benchfmt: %d regression(s) beyond %.1f%%\n", regressions, *tol)
 		return 1
@@ -213,8 +214,11 @@ func benchKey(r Result) string {
 // compare prints one line per benchmark present in both runs — old and new
 // ns/op plus the percent delta, flagging slowdowns beyond tol — and
 // summarises benchmarks present on only one side (renames and new coverage
-// are informational, never failures). It returns the regression count.
-func compare(w io.Writer, old, cur []Result, tol float64, re *regexp.Regexp) int {
+// are informational, never failures). Slowdowns on benchmarks whose ns/op is
+// below minNS on both sides are likewise informational: such runs sit under
+// the code-layout noise floor of small machines, where relinking alone moves
+// them by tens of percent. It returns the regression count.
+func compare(w io.Writer, old, cur []Result, tol, minNS float64, re *regexp.Regexp) int {
 	oldBy := make(map[string]Result, len(old))
 	for _, r := range old {
 		oldBy[benchKey(r)] = r
@@ -239,8 +243,12 @@ func compare(w io.Writer, old, cur []Result, tol float64, re *regexp.Regexp) int
 		delta := (r.NsPerOp - prev.NsPerOp) / prev.NsPerOp * 100
 		flag := ""
 		if delta > tol {
-			flag = fmt.Sprintf("  REGRESSION (> %.1f%%)", tol)
-			regressions++
+			if prev.NsPerOp < minNS && r.NsPerOp < minNS {
+				flag = fmt.Sprintf("  below %.0fns floor, not failing", minNS)
+			} else {
+				flag = fmt.Sprintf("  REGRESSION (> %.1f%%)", tol)
+				regressions++
+			}
 		}
 		fmt.Fprintf(w, "%-60s %12.1f -> %12.1f ns/op  %+7.1f%%%s\n", r.Name, prev.NsPerOp, r.NsPerOp, delta, flag)
 	}

@@ -102,7 +102,7 @@ func TestCompare(t *testing.T) {
 		res("q", "BenchmarkOther", 90),
 	}
 	var buf strings.Builder
-	if got := compare(&buf, old, cur, 15, nil); got != 1 {
+	if got := compare(&buf, old, cur, 15, 0, nil); got != 1 {
 		t.Fatalf("regressions = %d, want 1; output:\n%s", got, buf.String())
 	}
 	out := buf.String()
@@ -118,13 +118,28 @@ func TestCompare(t *testing.T) {
 
 	// Within tolerance: the same +30% passes at 50%.
 	buf.Reset()
-	if got := compare(&buf, old, cur, 50, nil); got != 0 {
+	if got := compare(&buf, old, cur, 50, 0, nil); got != 0 {
 		t.Fatalf("regressions at 50%% tolerance = %d, want 0", got)
+	}
+
+	// -min-ns: a +30% swing on a benchmark under the floor on both sides is
+	// reported but does not fail; above the floor it still does.
+	buf.Reset()
+	if got := compare(&buf, old, cur, 15, 2000, nil); got != 0 {
+		t.Fatalf("regressions under 2000ns floor = %d, want 0; output:\n%s", got, buf.String())
+	}
+	if !strings.Contains(buf.String(), "below 2000ns floor") {
+		t.Errorf("floor annotation missing:\n%s", buf.String())
+	}
+	buf.Reset()
+	if got := compare(&buf, old, cur, 15, 1200, nil); got != 1 {
+		t.Fatalf("regressions with 1200ns floor = %d, want 1 (head 1300 above floor); output:\n%s",
+			got, buf.String())
 	}
 
 	// -match restricts both the comparison and the failure.
 	buf.Reset()
-	if got := compare(&buf, old, cur, 15, regexp.MustCompile("Downsample")); got != 0 {
+	if got := compare(&buf, old, cur, 15, 0, regexp.MustCompile("Downsample")); got != 0 {
 		t.Fatalf("matched regressions = %d, want 0", got)
 	}
 	if !strings.Contains(buf.String(), "1 compared, 0 regression(s)") {
@@ -157,6 +172,9 @@ func TestRunCompare(t *testing.T) {
 	}
 	if code := runCompare([]string{"-tolerance", "150", oldPath, slow}); code != 0 {
 		t.Errorf("tolerant compare exit = %d, want 0", code)
+	}
+	if code := runCompare([]string{"-min-ns", "5000", oldPath, slow}); code != 0 {
+		t.Errorf("below-floor compare exit = %d, want 0", code)
 	}
 	if code := runCompare([]string{oldPath}); code != 2 {
 		t.Errorf("usage error exit = %d, want 2", code)

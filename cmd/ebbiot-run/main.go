@@ -86,6 +86,7 @@ import (
 	"ebbiot/internal/control"
 	"ebbiot/internal/core"
 	"ebbiot/internal/events"
+	"ebbiot/internal/imgproc"
 	"ebbiot/internal/ingest"
 	"ebbiot/internal/pipeline"
 	"ebbiot/internal/scene"
@@ -166,6 +167,10 @@ func run() error {
 	if *sensors < 1 {
 		return fmt.Errorf("-sensors must be at least 1")
 	}
+
+	// One line so every run's logs say which kernel arm produced its
+	// numbers — indispensable when comparing timings across machines.
+	fmt.Fprintf(os.Stderr, "kernels: %s\n", imgproc.KernelInfo())
 
 	// Graceful shutdown: the first SIGINT/SIGTERM cancels the run context;
 	// streams stop at the next window boundary, the Runner drains the

@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"ebbiot/internal/ebbi"
+	"ebbiot/internal/imgproc"
 	"ebbiot/internal/pipeline"
 )
 
@@ -122,8 +123,9 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 // the control plane's own view (parameter version, duty-cycle estimate).
 type statsResponse struct {
 	pipeline.StatusSnapshot
-	ParamVersion int64          `json:"param_version,omitempty"`
-	Duty         []dutyEstimate `json:"duty,omitempty"`
+	ParamVersion int64           `json:"param_version,omitempty"`
+	Duty         []dutyEstimate  `json:"duty,omitempty"`
+	Kernels      imgproc.Kernels `json:"kernels"`
 }
 
 // dutyEstimate is the live per-stream duty-cycle power estimate, computed
@@ -139,10 +141,10 @@ type dutyEstimate struct {
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	rs := s.run()
 	if rs == nil {
-		writeJSON(w, http.StatusOK, statsResponse{})
+		writeJSON(w, http.StatusOK, statsResponse{Kernels: imgproc.KernelInfo()})
 		return
 	}
-	resp := statsResponse{StatusSnapshot: rs.Snapshot()}
+	resp := statsResponse{StatusSnapshot: rs.Snapshot(), Kernels: imgproc.KernelInfo()}
 	if s.params != nil {
 		ps := s.params.Load()
 		resp.ParamVersion = ps.Version
@@ -220,6 +222,9 @@ func (s *Server) handlePatchParams(w http.ResponseWriter, r *http.Request) {
 // counters and gauges only, no client library dependency.
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	k := imgproc.KernelInfo()
+	fmt.Fprintf(w, "# HELP ebbiot_kernel_info Active imgproc kernel dispatch (1 = the labelled configuration is in effect).\n# TYPE ebbiot_kernel_info gauge\nebbiot_kernel_info{cpu=%q,median=%q,popcount=%q,blockpop=%q} 1\n",
+		k.CPU, k.Median, k.Popcount, k.BlockPop)
 	if s.params != nil {
 		fmt.Fprintf(w, "# HELP ebbiot_param_version Currently published ParamSet version.\n# TYPE ebbiot_param_version gauge\nebbiot_param_version %d\n", s.params.Version())
 	}

@@ -119,14 +119,25 @@ func TestServerEndpoints(t *testing.T) {
 		t.Fatalf("post-run healthz %v", health)
 	}
 
-	// /stats: totals and per-stream counters for both streams.
+	// /stats: totals and per-stream counters for both streams, plus the
+	// active kernel dispatch report.
 	var stats struct {
 		pipeline.StatusSnapshot
 		ParamVersion int64 `json:"param_version"`
+		Kernels      struct {
+			CPU      string `json:"cpu"`
+			Median   string `json:"median"`
+			Popcount string `json:"popcount"`
+			BlockPop string `json:"blockpop"`
+		} `json:"kernels"`
 	}
 	getJSON(t, srv.URL+"/stats", &stats)
 	if stats.Running {
 		t.Fatal("stats still running after Run returned")
+	}
+	if stats.Kernels.CPU == "" || stats.Kernels.Median == "" ||
+		stats.Kernels.Popcount == "" || stats.Kernels.BlockPop == "" {
+		t.Fatalf("stats kernels incomplete: %+v", stats.Kernels)
 	}
 	if stats.Streams != 2 || stats.Windows != 16 { // 2 streams x 8 windows of 66 ms over 0.5 s
 		t.Fatalf("stats totals %+v", stats.StatusSnapshot)
@@ -225,6 +236,7 @@ func TestServerEndpoints(t *testing.T) {
 		`ebbiot_events_total{stream="cam1"} 500`,
 		`ebbiot_frame_us{stream="cam0"} 66000`,
 		"ebbiot_sink_lag",
+		"ebbiot_kernel_info{cpu=",
 	} {
 		if !strings.Contains(metrics, want) {
 			t.Fatalf("metrics missing %q:\n%s", want, metrics)

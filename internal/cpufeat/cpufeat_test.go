@@ -1,0 +1,42 @@
+package cpufeat
+
+import (
+	"runtime"
+	"testing"
+)
+
+func TestDetectConsistency(t *testing.T) {
+	f := Detect()
+	if f != Detect() {
+		t.Fatal("Detect is not stable across calls")
+	}
+	// The extension implies the base: a CPU (or a correctly masked
+	// hypervisor) never reports AVX-512 without AVX2, and VPOPCNTDQ is an
+	// AVX-512 extension.
+	if f.HasAVX512() && !f.AVX2 {
+		t.Errorf("AVX-512 reported without AVX2: %+v", f)
+	}
+	if f.AVX512VPOPCNTDQ && !f.AVX512F {
+		t.Errorf("VPOPCNTDQ reported without AVX512F: %+v", f)
+	}
+	if runtime.GOARCH != "amd64" && f != (Features{}) {
+		t.Errorf("non-amd64 build must report zero features, got %+v", f)
+	}
+	if f.String() == "" {
+		t.Error("String must never be empty")
+	}
+	t.Logf("detected: %s", f)
+}
+
+func TestStringZero(t *testing.T) {
+	if s := (Features{}).String(); s != "none" {
+		t.Fatalf("zero Features String = %q, want none", s)
+	}
+	all := Features{AVX2: true, AVX512F: true, AVX512BW: true, AVX512VL: true, AVX512VPOPCNTDQ: true}
+	if s := all.String(); s != "avx2,avx512f,avx512bw,avx512vl,vpopcntdq" {
+		t.Fatalf("full Features String = %q", s)
+	}
+	if !all.HasAVX512() {
+		t.Fatal("HasAVX512 false for full set")
+	}
+}

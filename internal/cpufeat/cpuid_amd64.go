@@ -1,0 +1,65 @@
+//go:build amd64 && !purego
+
+package cpufeat
+
+// cpuid executes CPUID with EAX=leaf, ECX=sub. Implemented in
+// cpuid_amd64.s.
+func cpuid(leaf, sub uint32) (eax, ebx, ecx, edx uint32)
+
+// xgetbv0 reads XCR0, the OS-enabled extended state mask. Only valid when
+// CPUID.1:ECX.OSXSAVE is set. Implemented in cpuid_amd64.s.
+func xgetbv0() (eax, edx uint32)
+
+// CPUID.1:ECX bits.
+const (
+	cpuidOSXSAVE = 1 << 27
+	cpuidAVX     = 1 << 28
+)
+
+// CPUID.7.0:EBX / ECX bits.
+const (
+	cpuid7AVX2      = 1 << 5
+	cpuid7AVX512F   = 1 << 16
+	cpuid7AVX512BW  = 1 << 30
+	cpuid7AVX512VL  = 1 << 31
+	cpuid7VPOPCNTDQ = 1 << 14 // ECX
+)
+
+// XCR0 state-component bits.
+const (
+	xcr0SSE      = 1 << 1
+	xcr0AVX      = 1 << 2
+	xcr0Opmask   = 1 << 5
+	xcr0ZMMHi256 = 1 << 6
+	xcr0Hi16ZMM  = 1 << 7
+
+	xcr0AVXState    = xcr0SSE | xcr0AVX
+	xcr0AVX512State = xcr0AVXState | xcr0Opmask | xcr0ZMMHi256 | xcr0Hi16ZMM
+)
+
+func detect() Features {
+	maxLeaf, _, _, _ := cpuid(0, 0)
+	if maxLeaf < 7 {
+		return Features{}
+	}
+	_, _, ecx1, _ := cpuid(1, 0)
+	// Without OSXSAVE the OS does not save the wide registers across
+	// context switches; executing AVX code would fault or corrupt state.
+	if ecx1&cpuidOSXSAVE == 0 || ecx1&cpuidAVX == 0 {
+		return Features{}
+	}
+	xlo, _ := xgetbv0()
+	if xlo&xcr0AVXState != xcr0AVXState {
+		return Features{}
+	}
+	_, ebx7, ecx7, _ := cpuid(7, 0)
+	var f Features
+	f.AVX2 = ebx7&cpuid7AVX2 != 0
+	if xlo&xcr0AVX512State == xcr0AVX512State {
+		f.AVX512F = ebx7&cpuid7AVX512F != 0
+		f.AVX512BW = ebx7&cpuid7AVX512BW != 0
+		f.AVX512VL = ebx7&cpuid7AVX512VL != 0
+		f.AVX512VPOPCNTDQ = ecx7&cpuid7VPOPCNTDQ != 0
+	}
+	return f
+}

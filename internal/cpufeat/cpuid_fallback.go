@@ -1,0 +1,7 @@
+//go:build !amd64 || purego
+
+package cpufeat
+
+// detect reports no SIMD features on non-amd64 platforms and under the
+// purego build tag, keeping every dispatcher on the pure-Go kernels.
+func detect() Features { return Features{} }

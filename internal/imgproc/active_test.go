@@ -185,17 +185,52 @@ func TestRangedKernelsSparsityLevels(t *testing.T) {
 	for _, name := range names {
 		src := frames[name]
 		t.Run(name, func(t *testing.T) {
-			for _, p := range []int{1, 3, 5} {
-				// Exact region, a loose superset region, and the
-				// no-information full region must all agree with the
-				// full-frame kernels.
-				exact := regionFor(src)
-				loose := NewActiveRegion(w, h)
-				loose.SetDilated(exact, 70) // smears across a word boundary
-				full := NewActiveRegion(w, h)
-				full.MarkAll()
-				for _, ar := range []*ActiveRegion{exact, loose, full} {
-					rangedKernelCase(t, src, ar, p, 6, 3, p/2)
+			// The whole grid runs under both dispatch arms — the active
+			// (possibly SIMD) kernels and the forced-generic ones — and the
+			// median output of the two arms is compared bit for bit, with
+			// garbage-prefilled destinations so a missed clear cannot hide.
+			arms := []struct {
+				name  string
+				force bool
+			}{{"active", false}, {"generic", true}}
+			for _, arm := range arms {
+				t.Run(arm.name, func(t *testing.T) {
+					if arm.force {
+						defer ForceGeneric()()
+					}
+					for _, p := range []int{1, 3, 5} {
+						// Exact region, a loose superset region, and the
+						// no-information full region must all agree with the
+						// full-frame kernels.
+						exact := regionFor(src)
+						loose := NewActiveRegion(w, h)
+						loose.SetDilated(exact, 70) // smears across a word boundary
+						full := NewActiveRegion(w, h)
+						full.MarkAll()
+						for _, ar := range []*ActiveRegion{exact, loose, full} {
+							rangedKernelCase(t, src, ar, p, 6, 3, p/2)
+						}
+					}
+				})
+			}
+			for _, p := range []int{3, 5} {
+				for _, ar := range []*ActiveRegion{nil, regionFor(src)} {
+					dstA := NewPackedBitmap(w, h)
+					dstG := NewPackedBitmap(w, h)
+					garbageFill(dstA)
+					garbageFill(dstG)
+					if err := PackedMedianFilterRange(dstA, src, p, ar); err != nil {
+						t.Fatal(err)
+					}
+					restore := ForceGeneric()
+					err := PackedMedianFilterRange(dstG, src, p, ar)
+					restore()
+					if err != nil {
+						t.Fatal(err)
+					}
+					if !dstA.Equal(dstG) {
+						t.Fatalf("p=%d region=%v: SIMD arm != generic arm", p, ar != nil)
+					}
 				}
 			}
 		})

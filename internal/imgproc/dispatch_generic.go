@@ -1,0 +1,8 @@
+//go:build !amd64 || purego
+
+package imgproc
+
+// archImpls reports no architecture-specific kernel implementations: on
+// non-amd64 platforms and under the purego build tag only the portable
+// generic kernels exist.
+func archImpls() []*kernelImpl { return nil }

@@ -173,5 +173,48 @@ func FuzzPackedKernels(f *testing.F) {
 				t.Fatalf("ranged erode mismatch (w=%d h=%d r=%d)", w, h, r)
 			}
 		}
+
+		// Both dispatch arms: every kernel that routes through the runtime
+		// dispatch table re-runs forced-generic and must reproduce the
+		// active (possibly SIMD) arm bit for bit. On machines without SIMD
+		// both arms are generic and this degenerates to a self-check.
+		func() {
+			defer ForceGeneric()()
+			pdstG := NewPackedBitmap(w, h)
+			if err := PackedMedianFilter(pdstG, psrc, p); err != nil {
+				t.Fatal(err)
+			}
+			if !pdstG.Equal(pdst) {
+				t.Fatalf("generic median != active arm (w=%d h=%d p=%d)", w, h, p)
+			}
+			for _, ar := range []*ActiveRegion{exact, loose} {
+				garbageFill(pdstG)
+				if err := PackedMedianFilterRange(pdstG, psrc, p, ar); err != nil {
+					t.Fatal(err)
+				}
+				if !pdstG.Equal(pdst) {
+					t.Fatalf("generic ranged median != active arm (w=%d h=%d p=%d)", w, h, p)
+				}
+				gotDSG, err := PackedDownsampleIntoRange(nil, psrc, s1, s2, ar)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for i := range wantDS.Pix {
+					if gotDSG.Pix[i] != wantDS.Pix[i] {
+						t.Fatalf("generic ranged downsample block %d (w=%d h=%d s1=%d s2=%d)", i, w, h, s1, s2)
+					}
+				}
+				gotHXG, gotHYG, err := PackedHistogramsIntoRange(nil, nil, psrc, s1, s2, ar)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !intsEqual(gotHXG, wantHX) || !intsEqual(gotHYG, wantHY) {
+					t.Fatalf("generic ranged histograms mismatch (w=%d h=%d s1=%d s2=%d)", w, h, s1, s2)
+				}
+			}
+			if psrc.CountOnes() != src.CountOnes() {
+				t.Fatalf("generic CountOnes mismatch (w=%d h=%d)", w, h)
+			}
+		}()
 	})
 }

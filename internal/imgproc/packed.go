@@ -112,13 +112,10 @@ func (p *PackedBitmap) Unset(x, y int) {
 	}
 }
 
-// CountOnes returns the number of set pixels via word popcounts.
+// CountOnes returns the number of set pixels via word popcounts,
+// dispatched to the vector popcount kernel when one is active.
 func (p *PackedBitmap) CountOnes() int {
-	n := 0
-	for _, w := range p.Words {
-		n += bits.OnesCount64(w)
-	}
-	return n
+	return kernels().popcntWords(p.Words)
 }
 
 // Density returns the fraction of set pixels.
@@ -241,8 +238,16 @@ func popcountRange(row []uint64, a, b int) int {
 		return bits.OnesCount64(row[wa] & loMask & hiMask)
 	}
 	n := bits.OnesCount64(row[wa] & loMask)
-	for k := wa + 1; k < wb; k++ {
-		n += bits.OnesCount64(row[k])
+	if wb-wa > 16 {
+		// Wide interior: hand the unmasked words to the dispatched vector
+		// popcount. Narrow ranges (the common RPN validity checks) stay on
+		// the scalar loop — below that size the call costs more than it
+		// saves.
+		n += kernels().popcntWords(row[wa+1 : wb])
+	} else {
+		for k := wa + 1; k < wb; k++ {
+			n += bits.OnesCount64(row[k])
+		}
 	}
 	return n + bits.OnesCount64(row[wb]&hiMask)
 }

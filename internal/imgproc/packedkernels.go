@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math/bits"
 	"sort"
+	"sync"
 
 	"ebbiot/internal/geometry"
 )
@@ -248,6 +249,11 @@ func rowSpan(row []uint64) (first, last int, ok bool) {
 func packedMedian3Region(dst, src *PackedBitmap, ar *ActiveRegion) {
 	h, stride := src.H, src.Stride
 	clear(dst.Words)
+	// simd is the assembly run kernel when one is active; scratch is
+	// acquired lazily on the first run long enough to use it, so sparse
+	// frames whose runs are all short pay no pool or dispatch overhead.
+	simd := kernels().median3
+	var ms *medianScratch
 	ry0, ry1 := 0, h
 	var rowsMask []uint64
 	var wordMask uint64
@@ -302,7 +308,14 @@ func packedMedian3Region(dst, src *PackedBitmap, ar *ActiveRegion) {
 		}
 		out := dst.Row(y)
 		if rowsMask == nil {
-			median3Run(out, ra, rb, rc, 0, stride-1)
+			if simd != nil && stride >= simdMinRun {
+				if ms == nil {
+					ms = getMedianScratch(stride)
+				}
+				simd(ms, out, ra, rb, rc, 0, stride-1)
+			} else {
+				median3Run(out, ra, rb, rc, 0, stride-1)
+			}
 			continue
 		}
 		om := wm & wordMask
@@ -311,10 +324,20 @@ func packedMedian3Region(dst, src *PackedBitmap, ar *ActiveRegion) {
 			tz := bits.TrailingZeros64(om)
 			om >>= uint(tz)
 			n := bits.TrailingZeros64(^om) // run length; 64 when om is all ones
-			median3Run(out, ra, rb, rc, base+tz, base+tz+n-1)
+			if simd != nil && n >= simdMinRun {
+				if ms == nil {
+					ms = getMedianScratch(stride)
+				}
+				simd(ms, out, ra, rb, rc, base+tz, base+tz+n-1)
+			} else {
+				median3Run(out, ra, rb, rc, base+tz, base+tz+n-1)
+			}
 			om >>= uint(n) // shift >= 64 is defined as 0 in Go
 			base += tz + n
 		}
+	}
+	if ms != nil {
+		putMedianScratch(ms)
 	}
 }
 
@@ -378,6 +401,9 @@ func median3Run(out, ra, rb, rc []uint64, ka, kb int) {
 func packedMedian5Region(dst, src *PackedBitmap, ar *ActiveRegion) {
 	h, stride := src.H, src.Stride
 	clear(dst.Words)
+	// Lazy SIMD dispatch, as in packedMedian3Region.
+	simd := kernels().median5
+	var ms *medianScratch
 	ry0, ry1 := 0, h
 	var rowsMask []uint64
 	var wordMask uint64
@@ -435,7 +461,14 @@ func packedMedian5Region(dst, src *PackedBitmap, ar *ActiveRegion) {
 		}
 		out := dst.Row(y)
 		if rowsMask == nil {
-			median5Run(out, r0, r1, r2, r3, r4, 0, stride-1)
+			if simd != nil && stride >= simdMinRun {
+				if ms == nil {
+					ms = getMedianScratch(stride)
+				}
+				simd(ms, out, r0, r1, r2, r3, r4, 0, stride-1)
+			} else {
+				median5Run(out, r0, r1, r2, r3, r4, 0, stride-1)
+			}
 			continue
 		}
 		om := wm & wordMask
@@ -444,10 +477,20 @@ func packedMedian5Region(dst, src *PackedBitmap, ar *ActiveRegion) {
 			tz := bits.TrailingZeros64(om)
 			om >>= uint(tz)
 			n := bits.TrailingZeros64(^om)
-			median5Run(out, r0, r1, r2, r3, r4, base+tz, base+tz+n-1)
+			if simd != nil && n >= simdMinRun {
+				if ms == nil {
+					ms = getMedianScratch(stride)
+				}
+				simd(ms, out, r0, r1, r2, r3, r4, base+tz, base+tz+n-1)
+			} else {
+				median5Run(out, r0, r1, r2, r3, r4, base+tz, base+tz+n-1)
+			}
 			om >>= uint(n)
 			base += tz + n
 		}
+	}
+	if ms != nil {
+		putMedianScratch(ms)
 	}
 }
 
@@ -879,8 +922,20 @@ func PackedDownsampleIntoRange(dst *CountImage, src *PackedBitmap, s1, s2 int, a
 		}
 	}
 	blockMask := blockPopMask(s1)
+	bp := kernels().blockPop
+	if blockMask == 0 || s1 > blockPopMaxS1 {
+		bp = nil
+	}
+	// The vectorized block popcount accumulates int64 lanes; stage block
+	// rows through a pooled int row and fold into the uint16 output. acc
+	// is all-zero between block rows.
+	var acc *intRow
+	if bp != nil {
+		acc = getIntRow(w)
+	}
 	for j := ry0 / s2; j < h && j*s2 < ry1; j++ {
 		outRow := out.Pix[j*w : (j+1)*w]
+		lo, hi := w, 0
 		for n := 0; n < s2; n++ {
 			yy := j*s2 + n
 			if yy < ry0 || yy >= ry1 {
@@ -900,7 +955,15 @@ func PackedDownsampleIntoRange(dst *CountImage, src *PackedBitmap, s1, s2 int, a
 			} else if rowEmpty(row) {
 				continue
 			}
-			if blockMask != 0 {
+			if bp != nil {
+				bp(row, i0*s1, s1, acc.s[i0:i1])
+				if i0 < lo {
+					lo = i0
+				}
+				if i1 > hi {
+					hi = i1
+				}
+			} else if blockMask != 0 {
 				off := i0 * s1
 				for i := i0; i < i1; i++ {
 					outRow[i] += uint16(bits.OnesCount64(fetchBits(row, off) & blockMask))
@@ -912,6 +975,13 @@ func PackedDownsampleIntoRange(dst *CountImage, src *PackedBitmap, s1, s2 int, a
 				}
 			}
 		}
+		for i := lo; i < hi; i++ {
+			outRow[i] += uint16(acc.s[i])
+			acc.s[i] = 0
+		}
+	}
+	if acc != nil {
+		putIntRow(acc)
 	}
 	return out, nil
 }
@@ -993,6 +1063,10 @@ func PackedHistogramsIntoRange(hxBuf, hyBuf []int, src *PackedBitmap, s1, s2 int
 		}
 	}
 	blockMask := blockPopMask(s1)
+	bp := kernels().blockPop
+	if s1 > blockPopMaxS1 {
+		bp = nil
+	}
 	for j := ry0 / s2; j < h && j*s2 < ry1; j++ {
 		total := 0
 		for n := 0; n < s2; n++ {
@@ -1014,12 +1088,16 @@ func PackedHistogramsIntoRange(hxBuf, hyBuf []int, src *PackedBitmap, s1, s2 int
 				continue
 			}
 			if blockMask != 0 {
-				off := i0 * s1
-				for i := i0; i < i1; i++ {
-					c := bits.OnesCount64(fetchBits(row, off) & blockMask)
-					hx[i] += c
-					total += c
-					off += s1
+				if bp != nil {
+					total += bp(row, i0*s1, s1, hx[i0:i1])
+				} else {
+					off := i0 * s1
+					for i := i0; i < i1; i++ {
+						c := bits.OnesCount64(fetchBits(row, off) & blockMask)
+						hx[i] += c
+						total += c
+						off += s1
+					}
 				}
 			} else {
 				for i := i0; i < i1; i++ {
@@ -1131,8 +1209,9 @@ func PackedConnectedComponentsRegion(p *PackedBitmap, ar *ActiveRegion) []Compon
 			return nil
 		}
 	}
-	var runs []packedRun
-	parent := make([]int32, 0, 64)
+	cs := getCCAScratch()
+	runs := cs.runs
+	parent := cs.parent
 	find := func(x int32) int32 {
 		for parent[x] != x {
 			parent[x] = parent[parent[x]] // path halving
@@ -1197,16 +1276,18 @@ func PackedConnectedComponentsRegion(p *PackedBitmap, ar *ActiveRegion) []Compon
 	}
 
 	// Resolve roots and accumulate bounding boxes run-at-a-time.
-	type acc struct {
-		minX, minY, maxX, maxY int32
-		size                   int
+	accs := cs.accs
+	if cap(accs) < len(parent) {
+		accs = make([]ccaAcc, len(parent))
+	} else {
+		accs = accs[:len(parent)]
+		clear(accs)
 	}
-	accs := make([]acc, len(parent))
 	for _, r := range runs {
 		root := find(r.label)
 		a := &accs[root]
 		if a.size == 0 {
-			*a = acc{minX: r.start, minY: r.y, maxX: r.end - 1, maxY: r.y}
+			*a = ccaAcc{minX: r.start, minY: r.y, maxX: r.end - 1, maxY: r.y}
 		}
 		a.size += int(r.end - r.start)
 		if r.start < a.minX {
@@ -1222,7 +1303,13 @@ func PackedConnectedComponentsRegion(p *PackedBitmap, ar *ActiveRegion) []Compon
 			a.maxY = r.y
 		}
 	}
-	out := make([]Component, 0, 16)
+	nroots := 0
+	for i := range accs {
+		if accs[i].size != 0 {
+			nroots++
+		}
+	}
+	out := make([]Component, 0, nroots)
 	for _, a := range accs {
 		if a.size == 0 {
 			continue
@@ -1241,5 +1328,39 @@ func PackedConnectedComponentsRegion(p *PackedBitmap, ar *ActiveRegion) []Compon
 		}
 		return out[i].Box.Y < out[j].Box.Y
 	})
+	cs.runs, cs.parent, cs.accs = runs, parent, accs
+	putCCAScratch(cs)
 	return out
 }
+
+// ccaAcc accumulates one component's bounding box and size; size == 0
+// marks an untouched slot (non-root labels).
+type ccaAcc struct {
+	minX, minY, maxX, maxY int32
+	size                   int
+}
+
+// ccaScratch holds the run, union-find, and accumulator arrays of one
+// connected-components labelling. Proposal extraction runs CCA per tracking
+// window; pooling the scratch (about 180 KB once grown for a DAVIS-scale
+// frame) keeps that off the per-window allocation profile.
+type ccaScratch struct {
+	runs   []packedRun
+	parent []int32
+	accs   []ccaAcc
+}
+
+var ccaScratchPool = sync.Pool{New: func() any { return new(ccaScratch) }}
+
+func getCCAScratch() *ccaScratch {
+	cs := ccaScratchPool.Get().(*ccaScratch)
+	cs.runs = cs.runs[:0]
+	if cs.parent == nil {
+		cs.parent = make([]int32, 0, 64)
+	} else {
+		cs.parent = cs.parent[:0]
+	}
+	return cs
+}
+
+func putCCAScratch(cs *ccaScratch) { ccaScratchPool.Put(cs) }

@@ -16,7 +16,11 @@
 # under the tolerance.
 #
 # Tunables (env): BENCH_MATCH (gated bench regex), BENCH_REPS,
-# BENCHTIME (per repetition), BENCH_TOLERANCE (percent).
+# BENCHTIME (per repetition), BENCH_TOLERANCE (percent), BENCH_MIN_NS
+# (ns/op floor below which slowdowns are informational: sub-microsecond
+# benchmarks sit under this box's code-layout noise floor — relinking
+# alone moves them 15-50%, interleaving or not, as even untouched
+# benchmarks demonstrate — so they cannot gate).
 # The HEAD tree's ebbiot-benchfmt parses and compares BOTH sides, so the
 # de-noising treats them identically even when the base predates it.
 # Benchmarks present on only one side are informational, never failures,
@@ -29,10 +33,11 @@ if [ $# -ne 2 ]; then
 fi
 BASE_TREE=$(cd "$1" && pwd)
 HEAD_TREE=$(cd "$2" && pwd)
-MATCH=${BENCH_MATCH:-'Median|Downsample|ProcessWindow'}
+MATCH=${BENCH_MATCH:-'Median|Downsample|Histograms|Popcount|ProcessWindow'}
 REPS=${BENCH_REPS:-6}
 BENCHTIME=${BENCHTIME:-300ms}
 TOL=${BENCH_TOLERANCE:-15}
+MIN_NS=${BENCH_MIN_NS:-2000}
 # Packages holding gated benchmarks today; binaries whose benches don't
 # match the regex cost nothing at run time.
 PKGS="internal/imgproc internal/core"
@@ -92,5 +97,5 @@ done
 cd "$HEAD_TREE"
 go run ./cmd/ebbiot-benchfmt -o "$WORK/base.json" <"$WORK/base.txt"
 go run ./cmd/ebbiot-benchfmt -o "$WORK/head.json" <"$WORK/head.txt"
-go run ./cmd/ebbiot-benchfmt compare -tolerance "$TOL" -match "$MATCH" \
+go run ./cmd/ebbiot-benchfmt compare -tolerance "$TOL" -min-ns "$MIN_NS" -match "$MATCH" \
   "$WORK/base.json" "$WORK/head.json"
