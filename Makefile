@@ -12,7 +12,7 @@ BENCHCOUNT ?= 1
 SHELL := /bin/bash
 .SHELLFLAGS := -o pipefail -ec
 
-.PHONY: build test race bench bench-store bench-imgproc bench-json bench-compare bench-gate vet check smoke-control smoke-ingest crash-drill
+.PHONY: build test race bench bench-store bench-imgproc bench-json bench-compare bench-gate vet check smoke-control smoke-ingest crash-drill chaos-ingest
 
 build:
 	$(GO) build ./...
@@ -96,6 +96,20 @@ crash-drill:
 	for seed in $(CRASH_DRILL_SEEDS); do \
 		echo "== crash drill, seed $$seed =="; \
 		CRASH_DRILL_SEED=$$seed $(GO) test -race -count=1 -run 'TestCrashDrill' ./internal/store/; \
+	done
+
+# Ingest chaos drill (also run by CI): stream a deterministic recording
+# over loopback TCP while randomly killing the connection mid-stream, let
+# the sink reconnect with the wire-v2 RESUME handshake and replay its
+# unacknowledged tail, and require the tracked output to be bit-identical
+# to an uninterrupted run — under the race detector, over a fixed seed
+# matrix so a failure reproduces exactly. Widen locally with
+# CHAOS_INGEST_SEEDS.
+CHAOS_INGEST_SEEDS ?= 1 2 3
+chaos-ingest:
+	for seed in $(CHAOS_INGEST_SEEDS); do \
+		echo "== ingest chaos drill, seed $$seed =="; \
+		CHAOS_SEED=$$seed $(GO) test -race -count=1 -run 'TestChaosKillResumeBitIdentical' ./internal/ingest/; \
 	done
 
 vet:

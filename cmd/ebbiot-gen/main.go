@@ -7,6 +7,8 @@
 //	ebbiot-gen -preset ENG -scale 0.01 -seed 1 -out eng.aer [-gt eng_gt.csv]
 //	ebbiot-gen -preset ENG -scale 0.01 -send HOST:PORT -stream cam0 [-token T]
 //	           [-connect-retries 10] [-connect-backoff-ms 200]
+//	           [-resume-retries 8] [-resume-backoff-ms 200]
+//	           [-replay-window 256] [-heartbeat-ms 0]
 //
 // At -scale 1 the ENG preset emits the full 2998.4 s / ~10^8-event
 // recording; small scales produce statistically identical but shorter
@@ -18,7 +20,11 @@
 // closed with the clean end-of-stream frame. Because generation is
 // deterministic, sending the same preset/scale/seed twice replays the
 // identical event stream — the network counterpart of replaying an AER
-// file.
+// file. A mid-stream connection loss is survived transparently: the sink
+// reconnects with the wire-v2 RESUME handshake (budgeted by -resume-retries
+// / -resume-backoff-ms) and replays every unacknowledged batch from its
+// -replay-window ring; -heartbeat-ms keeps a quiet stream's connection warm.
+// The exit summary reports reconnects and replayed batches.
 package main
 
 import (
@@ -53,6 +59,10 @@ func run() error {
 	token := flag.String("token", "", "shared-secret token for the ingest handshake with -send")
 	connectRetries := flag.Int("connect-retries", 0, "with -send: extra connect attempts if the server is not up yet")
 	connectBackoffMS := flag.Int64("connect-backoff-ms", 200, "with -send: base delay between connect attempts (doubled, jittered)")
+	resumeRetries := flag.Int("resume-retries", 8, "with -send: reconnect attempts per mid-stream connection loss before giving up (0 disables resume)")
+	resumeBackoffMS := flag.Int64("resume-backoff-ms", 200, "with -send: base delay between resume attempts (doubled, jittered)")
+	replayWindow := flag.Int("replay-window", 256, "with -send: batches kept for replay after a resume; Send blocks when this many are unacknowledged")
+	heartbeatMS := flag.Int64("heartbeat-ms", 0, "with -send: emit an empty keepalive batch when the stream is quiet this long (0 disables)")
 	flag.Parse()
 
 	if *out == "" && *send == "" {
@@ -90,12 +100,20 @@ func run() error {
 	}
 	var ds *ingest.DialSink
 	if *send != "" {
+		rr := *resumeRetries
+		if rr == 0 {
+			rr = -1 // flag 0 means "no resume"; the DialConfig spelling is negative
+		}
 		ds, err = ingest.Dial(*send, ingest.DialConfig{
 			StreamID:       *streamID,
 			Token:          *token,
 			Res:            spec.Sensor.Res,
 			ConnectRetries: *connectRetries,
 			ConnectBackoff: time.Duration(*connectBackoffMS) * time.Millisecond,
+			ResumeRetries:  rr,
+			ResumeBackoff:  time.Duration(*resumeBackoffMS) * time.Millisecond,
+			ReplayWindow:   *replayWindow,
+			Heartbeat:      time.Duration(*heartbeatMS) * time.Millisecond,
 		})
 		if err != nil {
 			return err
@@ -138,8 +156,11 @@ func run() error {
 		if err := ds.Close(); err != nil {
 			return err
 		}
+		st := ds.Stats()
 		fmt.Printf("%s: sent %d events over %.1f s of recording to %s as stream %q\n",
 			spec.Name, sent, float64(spec.DurationUS)/1e6, *send, *streamID)
+		fmt.Printf("transport: %d batches sent, %d heartbeats; reconnected %d time(s), replayed %d batches (final epoch %d, acked through seq %d)\n",
+			st.Sent, st.Heartbeats, st.Resumes, st.Replayed, st.Epoch, st.AckedSeq)
 	}
 	if *gtPath != "" {
 		recs, err := annot.FromScene(rec.Scene, chunk, 40)

@@ -58,6 +58,16 @@
 // sensor ends its own stream without taking down the rest of the fleet.
 // Replay a recording into it with `ebbiot-gen -send` or any ingest.DialSink.
 //
+// Sensor sessions are resumable (wire v2): a dropped connection parks the
+// stream in a grace window (-resume-grace-ms, 0 to disable) instead of
+// faulting, and a reconnecting sensor replays from the last ACKed batch —
+// the server acknowledges every -ack-every batches — with the session epoch
+// bumped on /streams/{id} and /metrics. With -watchdog-ms N a stream that
+// completes no window within N ms is flagged `stalled` (state and counter
+// on /streams/{id}; it flips back to running on the next window). The final
+// summary prints one outcome line per stream, and the process exits nonzero
+// if any stream ended failed.
+//
 // Usage:
 //
 //	ebbiot-run -in eng.aer | -scene MS | -listen ADDR -streams cam0,cam1
@@ -69,6 +79,7 @@
 //	           [-batch 1] [-skip-threshold -1]
 //	           [-ingest-token T] [-ingest-queue 64] [-ingest-policy block]
 //	           [-ingest-idle-ms 30000] [-ingest-failfast]
+//	           [-resume-grace-ms 30000] [-ack-every 8] [-watchdog-ms 0]
 package main
 
 import (
@@ -76,6 +87,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"os/signal"
 	"strings"
@@ -126,6 +138,29 @@ func newSystem(name string, res events.Resolution, reference bool, ps control.Pa
 	}
 }
 
+// printStreamOutcomes writes one terminal-state line per stream to w and
+// returns the names of streams that ended failed; the caller turns a
+// nonempty list into a nonzero exit.
+func printStreamOutcomes(w io.Writer, snap pipeline.StatusSnapshot) (failed []string) {
+	for _, ss := range snap.PerStream {
+		line := fmt.Sprintf("stream %s: %s (%d windows, %d events)", ss.Name, ss.State, ss.Windows, ss.Events)
+		if ss.Stalls > 0 || ss.Restarts > 0 {
+			line += fmt.Sprintf("; stalls %d, restarts %d", ss.Stalls, ss.Restarts)
+		}
+		if ss.Source != nil && ss.Source.Resumes > 0 {
+			line += fmt.Sprintf("; resumed %d time(s), epoch %d", ss.Source.Resumes, ss.Source.Epoch)
+		}
+		if ss.Error != "" {
+			line += ": " + ss.Error
+		}
+		fmt.Fprintln(w, line)
+		if ss.State == pipeline.StreamFailed.String() {
+			failed = append(failed, ss.Name)
+		}
+	}
+	return failed
+}
+
 func run() error {
 	in := flag.String("in", "", "input AER file (this or -scene is required)")
 	sceneMS := flag.Int64("scene", 0, "synthesise a single-object scene of this many milliseconds instead of reading -in")
@@ -153,6 +188,9 @@ func run() error {
 	ingestPolicy := flag.String("ingest-policy", "block", "full-queue policy: block (backpressure to the sender), drop-oldest or drop-newest")
 	ingestIdleMS := flag.Int64("ingest-idle-ms", 30000, "per-connection idle timeout in milliseconds; a sensor that stalls longer faults as a stalled writer")
 	ingestFailFast := flag.Bool("ingest-failfast", false, "a faulted sensor stream fails the whole run instead of ending just its own stream")
+	resumeGraceMS := flag.Int64("resume-grace-ms", 30000, "how long a disconnected ingest stream stays resumable before faulting for real (0 disables session resume)")
+	ackEvery := flag.Int("ack-every", 8, "ingest server ACK cadence in accepted batches (wire v2 clients)")
+	watchdogMS := flag.Int64("watchdog-ms", 0, "flag a stream as stalled when it completes no window within this many milliseconds (0 disables the watchdog)")
 	flag.Parse()
 
 	modes := 0
@@ -225,6 +263,12 @@ func run() error {
 			return err
 		}
 		res = events.DAVIS240
+		// Flag semantics: 0 disables resume; the ServerConfig spelling for
+		// "disabled" is a negative grace.
+		grace := time.Duration(*resumeGraceMS) * time.Millisecond
+		if grace == 0 {
+			grace = -1
+		}
 		ingestSrv, err = ingest.Listen(*listen, ingest.ServerConfig{
 			Streams:      ids,
 			Token:        *ingestToken,
@@ -233,6 +277,8 @@ func run() error {
 			Policy:       policy,
 			FailFast:     *ingestFailFast,
 			IdleTimeout:  time.Duration(*ingestIdleMS) * time.Millisecond,
+			ResumeGrace:  grace,
+			AckEvery:     *ackEvery,
 			Logf: func(format string, args ...any) {
 				fmt.Fprintf(os.Stderr, format+"\n", args...)
 			},
@@ -352,7 +398,12 @@ func run() error {
 		sink = pipeline.MultiSink{sink, pipeline.NewStoreSink(sw)}
 	}
 
-	runner, err := pipeline.NewRunner(pipeline.Config{FrameUS: ps.FrameUS, Workers: *workers, Batch: *batch})
+	runner, err := pipeline.NewRunner(pipeline.Config{
+		FrameUS:  ps.FrameUS,
+		Workers:  *workers,
+		Batch:    *batch,
+		Watchdog: time.Duration(*watchdogMS) * time.Millisecond,
+	})
 	if err != nil {
 		return err
 	}
@@ -381,6 +432,14 @@ func run() error {
 	if interrupted {
 		fmt.Fprintln(os.Stderr, "ebbiot-run: interrupted — streams stopped at the window boundary, sinks drained and flushed; partial stats follow")
 		err = nil
+	}
+	// Per-stream outcomes: one terminal-state line per stream, so a fleet
+	// run says which sensors finished and which died. Any failed stream
+	// forces a nonzero exit even when the run error was cleared above.
+	if rs := runner.Status(); rs != nil {
+		if failed := printStreamOutcomes(os.Stderr, rs.Snapshot()); len(failed) > 0 && err == nil {
+			err = fmt.Errorf("%d stream(s) failed: %s", len(failed), strings.Join(failed, ", "))
+		}
 	}
 	if err != nil {
 		return err

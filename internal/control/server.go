@@ -274,6 +274,17 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		func(ss pipeline.StreamSnapshot) string { return strconv.FormatInt(ss.FrameUS, 10) })
 	emit("ebbiot_source_errors_total", "Source/windower failures per stream.", "counter",
 		func(ss pipeline.StreamSnapshot) string { return strconv.FormatInt(ss.SourceErrors, 10) })
+	emit("ebbiot_stream_stalls_total", "Watchdog trips (no window progress within the deadline) per stream.", "counter",
+		func(ss pipeline.StreamSnapshot) string { return strconv.FormatInt(ss.Stalls, 10) })
+	emit("ebbiot_stream_restarts_total", "Supervised source restarts per stream.", "counter",
+		func(ss pipeline.StreamSnapshot) string { return strconv.FormatInt(ss.Restarts, 10) })
+	emit("ebbiot_stream_stalled", "Whether the stream is currently stalled (no window progress).", "gauge",
+		func(ss pipeline.StreamSnapshot) string {
+			if ss.State == pipeline.StreamStalled.String() {
+				return "1"
+			}
+			return "0"
+		})
 
 	// Network-ingest counters: emitted only when at least one stream is fed
 	// by a metered source, so local-file runs stay noise-free.
@@ -316,4 +327,15 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		func(ss pipeline.StreamSnapshot) string { return strconv.FormatInt(src(ss).QueuedBatches, 10) })
 	emit("ebbiot_ingest_faults_total", "Mid-stream transport/protocol faults per stream.", "counter",
 		func(ss pipeline.StreamSnapshot) string { return strconv.FormatInt(src(ss).Faults, 10) })
+	emit("ebbiot_ingest_epoch", "Ingest session epoch (1 = first connection, +1 per accepted resume).", "gauge",
+		func(ss pipeline.StreamSnapshot) string { return strconv.FormatInt(src(ss).Epoch, 10) })
+	emit("ebbiot_ingest_resumes_total", "Accepted session resumes per stream.", "counter",
+		func(ss pipeline.StreamSnapshot) string { return strconv.FormatInt(src(ss).Resumes, 10) })
+	emit("ebbiot_ingest_resumable", "Whether the stream is disconnected but inside its resume grace window.", "gauge",
+		func(ss pipeline.StreamSnapshot) string {
+			if src(ss).Resumable {
+				return "1"
+			}
+			return "0"
+		})
 }

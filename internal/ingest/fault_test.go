@@ -58,7 +58,10 @@ func waitStats(t *testing.T, src *NetSource, what string, cond func(pipeline.Sou
 }
 
 // rawSender dials and completes the handshake by hand, for injecting
-// arbitrary bytes after it.
+// arbitrary bytes after it. It speaks wire v1 — the raw fault tests are
+// about frame-level behaviour, and a v1 connection keeps the server's
+// legacy immediate-fault semantics (no resume grace, no ACK traffic to
+// drain).
 func rawSender(t *testing.T, addr, stream string) net.Conn {
 	t.Helper()
 	conn, err := net.Dial("tcp", addr)
@@ -66,7 +69,7 @@ func rawSender(t *testing.T, addr, stream string) net.Conn {
 		t.Fatal(err)
 	}
 	t.Cleanup(func() { conn.Close() })
-	hs, err := appendHandshake(nil, Hello{StreamID: stream, Res: events.DAVIS240})
+	hs, err := appendHandshake(nil, Hello{StreamID: stream, Res: events.DAVIS240, Version: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -166,7 +169,7 @@ func TestFaultTornFrame(t *testing.T) {
 // TestFaultDisconnectWithoutEOF aborts a connection on a frame boundary
 // (no EOF frame) and asserts it is recorded as a fault, not a clean end.
 func TestFaultDisconnectWithoutEOF(t *testing.T) {
-	srv := startServer(t, ServerConfig{Streams: []string{"cam0"}})
+	srv := startServer(t, ServerConfig{Streams: []string{"cam0"}, ResumeGrace: -1})
 	ds, err := Dial(srv.Addr().String(), DialConfig{StreamID: "cam0"})
 	if err != nil {
 		t.Fatal(err)
@@ -261,7 +264,7 @@ func TestFaultDuplicateAndReorderedSeq(t *testing.T) {
 // torn connection surfaces as a run error with the source_errors counter
 // incremented — the strict-mode counterpart of TestFaultTornFrame.
 func TestFaultFailFastFailsRun(t *testing.T) {
-	srv := startServer(t, ServerConfig{Streams: []string{"cam0"}, FailFast: true})
+	srv := startServer(t, ServerConfig{Streams: []string{"cam0"}, FailFast: true, ResumeGrace: -1})
 	ds, err := Dial(srv.Addr().String(), DialConfig{StreamID: "cam0"})
 	if err != nil {
 		t.Fatal(err)

@@ -32,6 +32,23 @@ func FuzzWireDecoder(f *testing.F) {
 	le.PutUint32(huge, 0xFFFFFFFF)
 	f.Add(huge) // absurd length field
 
+	// Wire v2 material: ACK frames, the RESUME handshake extension, and the
+	// 17-byte v2 reply.
+	f.Add(appendAckFrame(nil, 42))
+	ack := appendAckFrame(nil, 42)
+	f.Add(ack[:len(ack)-3]) // torn ACK
+	v1hs, _ := appendHandshake(nil, Hello{StreamID: "cam0", Res: events.DAVIS240, Version: 1})
+	f.Add(v1hs)
+	v2hs, _ := appendHandshake(nil, Hello{StreamID: "cam0", Res: events.DAVIS240, Resume: true, LastAck: 9000})
+	f.Add(v2hs)
+	f.Add(v2hs[:len(v2hs)-4]) // truncated resume extension
+	badFlags := append([]byte(nil), v2hs...)
+	badFlags[len(badFlags)-9] |= 0x80 // unknown hello flag bit
+	f.Add(badFlags)
+	f.Add(appendHelloReply(nil, wireVersion, helloReply{ResumeFrom: 7, Epoch: 3}))
+	rej := []byte{StatusStreamBusy}
+	f.Add(rej)
+
 	f.Fuzz(func(t *testing.T, data []byte) {
 		// Frame decoder: drain the stream, checking every error is typed.
 		dec := newDecoder(bytes.NewReader(data), events.DAVIS240)
@@ -49,7 +66,7 @@ func FuzzWireDecoder(f *testing.F) {
 				}
 				break
 			}
-			if fr.typ != frameBatch && fr.typ != frameEOF {
+			if fr.typ != frameBatch && fr.typ != frameEOF && fr.typ != frameAck {
 				t.Fatalf("decoder accepted unknown frame type %d", fr.typ)
 			}
 			if len(fr.evs) > maxBatchEvents {
@@ -71,6 +88,14 @@ func FuzzWireDecoder(f *testing.F) {
 			}
 		} else if !errors.Is(err, ErrBadMagic) && !errors.Is(err, ErrBadVersion) && !errors.Is(err, ErrBadHandshake) {
 			t.Fatalf("untyped handshake error: %v", err)
+		}
+
+		// v2 reply reader on the same bytes: rejections must carry
+		// ErrRejected, anything else is a stream-end sentinel.
+		if _, err := readHelloReply(bytes.NewReader(data), wireVersion); err != nil {
+			if !errors.Is(err, ErrRejected) && !errors.Is(err, io.EOF) && !errors.Is(err, io.ErrUnexpectedEOF) {
+				t.Fatalf("untyped hello-reply error: %v", err)
+			}
 		}
 	})
 }

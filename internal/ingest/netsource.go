@@ -128,6 +128,48 @@ func (n *NetSource) setConnected(up bool) {
 	n.mu.Unlock()
 }
 
+// setResumable flips the grace-window gauge: a disconnected session that
+// may still be resumed.
+func (n *NetSource) setResumable(v bool) {
+	n.mu.Lock()
+	n.stats.Resumable = v
+	n.mu.Unlock()
+}
+
+// setEpoch publishes the session epoch.
+func (n *NetSource) setEpoch(e uint64) {
+	n.mu.Lock()
+	n.stats.Epoch = int64(e)
+	n.mu.Unlock()
+}
+
+// noteResume counts one accepted session resume.
+func (n *NetSource) noteResume() {
+	n.mu.Lock()
+	n.stats.Resumes++
+	n.mu.Unlock()
+}
+
+// LastSeq returns the highest accepted batch sequence number — the
+// resume point a reconnecting client replays past.
+func (n *NetSource) LastSeq() uint64 {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.lastSeq
+}
+
+// primeSeq advances the sequence floor without counting gaps, used when a
+// resume point beyond the source's own high-water mark is negotiated (a
+// client resuming into a restarted server): batches at or below the floor
+// are dups, the first fresh one is not a gap.
+func (n *NetSource) primeSeq(seq uint64) {
+	n.mu.Lock()
+	if seq > n.lastSeq {
+		n.lastSeq = seq
+	}
+	n.mu.Unlock()
+}
+
 // offer hands one decoded batch to the stream. It enforces the sequence
 // discipline (duplicates and reordered batches are dropped and counted,
 // gaps are counted) and cross-batch timestamp order, then queues the

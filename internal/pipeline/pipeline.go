@@ -39,7 +39,10 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"runtime"
+	"runtime/debug"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -130,6 +133,22 @@ type Config struct {
 	// sensitive runs should keep Batch small). Tracking output is identical
 	// at any batch size.
 	Batch int
+	// Watchdog, when positive, arms a per-stream progress watchdog: a
+	// running stream that completes no window within this duration is
+	// flipped to the (non-terminal) stalled state and its stall counter
+	// incremented — surfacing a quiet sensor through /streams/{id} and
+	// /metrics without killing anything. The stream returns to running at
+	// its next window.
+	Watchdog time.Duration
+	// MaxRestarts bounds supervised restarts per stream for sources
+	// implementing RestartableSource: a mid-stream source error triggers a
+	// jittered exponential backoff, Restart, and a contiguous continuation
+	// of the window clock instead of failing the stream — up to this many
+	// times over the stream's life. 0 disables restarts.
+	MaxRestarts int
+	// RestartBackoff is the base delay before restart attempt n (doubled
+	// each attempt, capped at 5 s, jittered into [d/2, d]); 0 means 200 ms.
+	RestartBackoff time.Duration
 }
 
 // Stats summarises a run.
@@ -186,7 +205,52 @@ func NewRunner(cfg Config) (*Runner, error) {
 	if cfg.Batch < 0 {
 		return nil, fmt.Errorf("pipeline: negative batch size %d", cfg.Batch)
 	}
+	if cfg.Watchdog < 0 {
+		return nil, fmt.Errorf("pipeline: negative watchdog deadline %v", cfg.Watchdog)
+	}
+	if cfg.MaxRestarts < 0 {
+		return nil, fmt.Errorf("pipeline: negative restart budget %d", cfg.MaxRestarts)
+	}
 	return &Runner{cfg: cfg}, nil
+}
+
+// panicError is a panic recovered from one stream's goroutine chain —
+// source, system, tuner, observer or the sink consuming its snapshot. The
+// supervisor contains it: the stream fails with the stack recorded, the
+// run's other streams are untouched, and the run reports the failure in
+// its aggregate error once everything else has finished.
+type panicError struct {
+	stream string
+	val    any
+	stack  []byte
+}
+
+func (p *panicError) Error() string {
+	return fmt.Sprintf("pipeline: %s: panic: %v", p.stream, p.val)
+}
+
+// errStreamKilled is runStream's signal that its stream was failed from
+// outside the worker (the sink goroutine contained a panic on one of its
+// snapshots): stop producing, touch nothing else.
+var errStreamKilled = errors.New("pipeline: stream failed externally")
+
+// restartBackoff returns the jittered exponential delay before restart
+// attempt number attempt (0-based): base << attempt capped at 5 s,
+// jittered uniformly into [d/2, d].
+func restartBackoff(base time.Duration, attempt int) time.Duration {
+	if base <= 0 {
+		base = 200 * time.Millisecond
+	}
+	const cap = 5 * time.Second
+	d := base
+	for i := 0; i < attempt && d < cap; i++ {
+		d *= 2
+	}
+	if d > cap {
+		d = cap
+	}
+	half := d / 2
+	return half + time.Duration(rand.Int63n(int64(half)+1))
 }
 
 // Run processes every stream to exhaustion and returns aggregate stats. The
@@ -247,7 +311,27 @@ func (r *Runner) Run(ctx context.Context, streams []Stream, sink Sink) (Stats, e
 	status.setLag(func() int { return len(results) })
 	work := make(chan int)
 
-	// Single sink consumer: non-thread-safe sinks stay simple.
+	// Single sink consumer: non-thread-safe sinks stay simple. A panic
+	// inside Consume is contained to the snapshot's stream — the stream is
+	// failed with the stack recorded and its worker notices at the next
+	// window boundary, while the other streams keep flowing.
+	consume := func(snap TrackSnapshot) {
+		defer func() {
+			if v := recover(); v != nil {
+				perr := &panicError{stream: snap.Name + ": sink", val: v, stack: debug.Stack()}
+				if ss := status.Stream(snap.Sensor); ss != nil {
+					ss.failPanic(perr, perr.stack)
+				}
+			}
+		}()
+		t0 := time.Now()
+		err := sink.Consume(snap)
+		status.addSinkTime(time.Since(t0))
+		if err != nil {
+			fail(fmt.Errorf("pipeline: sink: %w", err))
+			// Keep draining so workers never block forever.
+		}
+	}
 	var sinkWG sync.WaitGroup
 	sinkWG.Add(1)
 	go func() {
@@ -256,15 +340,46 @@ func (r *Runner) Run(ctx context.Context, streams []Stream, sink Sink) (Stats, e
 			if sink == nil {
 				continue
 			}
-			t0 := time.Now()
-			err := sink.Consume(snap)
-			status.addSinkTime(time.Since(t0))
-			if err != nil {
-				fail(fmt.Errorf("pipeline: sink: %w", err))
-				// Keep draining so workers never block forever.
+			// Skip snapshots of a stream already failed (a prior panic on
+			// it): feeding more would likely panic on the same state again.
+			if ss := status.Stream(snap.Sensor); ss != nil && ss.State() == StreamFailed {
+				continue
 			}
+			consume(snap)
 		}
 	}()
+
+	// Progress watchdog: flags running streams that complete no window
+	// within the deadline as stalled (observability only — nothing is
+	// killed). Stopped once the workers drain.
+	var wdWG sync.WaitGroup
+	wdStop := make(chan struct{})
+	if r.cfg.Watchdog > 0 {
+		wdWG.Add(1)
+		go func() {
+			defer wdWG.Done()
+			period := r.cfg.Watchdog / 4
+			if period < time.Millisecond {
+				period = time.Millisecond
+			}
+			tick := time.NewTicker(period)
+			defer tick.Stop()
+			for {
+				select {
+				case <-wdStop:
+					return
+				case now := <-tick.C:
+					for _, ss := range status.Streams() {
+						lp := ss.lastProgress.Load()
+						if ss.State() == StreamRunning && lp > 0 &&
+							now.UnixNano()-lp > int64(r.cfg.Watchdog) {
+							ss.markStalled()
+						}
+					}
+				}
+			}
+		}()
+	}
 
 	var workerWG sync.WaitGroup
 	for w := 0; w < workers; w++ {
@@ -273,11 +388,20 @@ func (r *Runner) Run(ctx context.Context, streams []Stream, sink Sink) (Stats, e
 			defer workerWG.Done()
 			for idx := range work {
 				ss := status.Stream(idx)
+				ss.noteProgress(time.Now())
 				ss.setState(StreamRunning)
-				err := r.runStream(ctx, idx, &streams[idx], results, ss)
+				err := r.superviseStream(ctx, idx, &streams[idx], results, ss)
+				var pe *panicError
 				switch {
 				case err == nil:
 					ss.setState(StreamDone)
+				case errors.Is(err, errStreamKilled):
+					// Failed from the sink side; state and stack are
+					// already recorded. The run keeps going.
+				case errors.As(err, &pe):
+					// Contained panic: the stream is failed with its stack,
+					// siblings and the run continue. The failure surfaces
+					// in the run's aggregate error at the end.
 				case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
 					ss.fail(StreamCanceled, err)
 					fail(err)
@@ -301,6 +425,8 @@ dispatch:
 	}
 	close(work)
 	workerWG.Wait()
+	close(wdStop)
+	wdWG.Wait()
 	close(results)
 	sinkWG.Wait()
 
@@ -314,8 +440,32 @@ dispatch:
 	if firstErr == nil && ctx.Err() != nil {
 		firstErr = ctx.Err()
 	}
+	// Contained failures (panics) let the rest of the run finish, but a
+	// run with failed streams is still a failed run: report them so
+	// callers — ebbiot-run's exit code in particular — can't mistake it
+	// for success.
+	if firstErr == nil {
+		if failed := status.FailedStreams(); len(failed) > 0 {
+			firstErr = fmt.Errorf("pipeline: %d stream(s) failed: %s", len(failed), strings.Join(failed, ", "))
+		}
+	}
 	status.finish(firstErr)
 	return status.Stats(), firstErr
+}
+
+// superviseStream runs one stream with panic containment: a panic
+// anywhere in the stream's chain (source, windower, system, tuner,
+// observer) is recovered, recorded on the stream's status with its stack,
+// and returned as a *panicError for the worker to treat as contained.
+func (r *Runner) superviseStream(ctx context.Context, idx int, st *Stream, results chan<- TrackSnapshot, ss *StreamStatus) (err error) {
+	defer func() {
+		if v := recover(); v != nil {
+			perr := &panicError{stream: ss.Name(), val: v, stack: debug.Stack()}
+			ss.failPanic(perr, perr.stack)
+			err = perr
+		}
+	}()
+	return r.runStream(ctx, idx, st, results, ss)
 }
 
 // Status returns the live view of the current (or most recent) run, nil
@@ -362,6 +512,40 @@ func (r *Runner) runStream(ctx context.Context, idx int, st *Stream, results cha
 			return ctx.Err()
 		}
 	}
+	// pull advances the windower by one window, absorbing mid-stream source
+	// errors for restartable sources within the run's restart budget: back
+	// off (jittered exponential), restart the source, resume the windower
+	// on the same frame clock, and try the interrupted window again.
+	restarts := 0
+	pull := func() (events.Window, bool, error) {
+		for {
+			win, err := w.Next()
+			if err == nil {
+				return win, false, nil
+			}
+			if err == io.EOF {
+				return events.Window{}, true, nil
+			}
+			ss.addSourceError()
+			rs, restartable := st.Source.(RestartableSource)
+			if !restartable || restarts >= r.cfg.MaxRestarts {
+				return events.Window{}, false, fmt.Errorf("pipeline: %s: %w", name, err)
+			}
+			select {
+			case <-time.After(restartBackoff(r.cfg.RestartBackoff, restarts)):
+			case <-ctx.Done():
+				return events.Window{}, false, ctx.Err()
+			}
+			restarts++
+			ss.addRestart()
+			if rerr := rs.Restart(); rerr != nil {
+				return events.Window{}, false, fmt.Errorf("pipeline: %s: restart: %v (after: %w)", name, rerr, err)
+			}
+			if rerr := w.Resume(); rerr != nil {
+				return events.Window{}, false, rerr
+			}
+		}
+	}
 	batch := r.cfg.Batch
 	if batch < 1 {
 		batch = 1
@@ -385,6 +569,12 @@ func (r *Runner) runStream(ctx context.Context, idx int, st *Stream, results cha
 		if err := ctx.Err(); err != nil {
 			return err
 		}
+		// A stream failed from outside the worker (the sink goroutine
+		// contained a panic on one of its snapshots) stops producing here,
+		// at the window boundary, without disturbing the run.
+		if ss.State() == StreamFailed {
+			return errStreamKilled
+		}
 		// Window boundary: let the control plane retune tF or reconfigure
 		// the System before the next window (or batch of windows) is
 		// pulled; at Batch > 1 live changes land every Batch windows.
@@ -404,16 +594,15 @@ func (r *Runner) runStream(ctx context.Context, idx int, st *Stream, results cha
 			// Unbatched fast path: process the Windower's buffer in place,
 			// no copy.
 			frame := w.Frame()
-			win, err := w.Next()
-			if err == io.EOF {
+			win, eof, err := pull()
+			if eof {
 				return nil
 			}
 			if err != nil {
-				// A source failing mid-run (after yielding windows) is
-				// accounted before the failure aborts the run, so the
-				// stream's snapshot shows where the stream broke.
-				ss.addSourceError()
-				return fmt.Errorf("pipeline: %s: %w", name, err)
+				// A source failing mid-run (after yielding windows) was
+				// accounted by pull before the failure aborts the run, so
+				// the stream's snapshot shows where the stream broke.
+				return err
 			}
 			procStart := time.Now()
 			reported, err := st.System.ProcessWindow(win.Events)
@@ -448,13 +637,12 @@ func (r *Runner) runStream(ctx context.Context, idx int, st *Stream, results cha
 		n := 0
 		for n < batch {
 			frame := w.Frame()
-			win, err := w.Next()
-			if err == io.EOF {
+			win, eof, err := pull()
+			if eof {
 				break
 			}
 			if err != nil {
-				ss.addSourceError()
-				return fmt.Errorf("pipeline: %s: %w", name, err)
+				return err
 			}
 			bufs[n] = append(bufs[n][:0], win.Events...)
 			metas = append(metas, windowMeta{frame: frame, start: win.Start, end: win.End})

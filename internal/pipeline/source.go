@@ -50,6 +50,16 @@ type SourceStats struct {
 	// most recent one.
 	Faults    int64  `json:"faults"`
 	LastError string `json:"last_error,omitempty"`
+	// Epoch is the ingest session epoch: 1 for the first connection,
+	// bumped on every accepted resume. 0 for sources without sessions.
+	Epoch int64 `json:"epoch,omitempty"`
+	// Resumes counts accepted session resumes (reconnects that continued
+	// the same stream instead of faulting it).
+	Resumes int64 `json:"resumes,omitempty"`
+	// Resumable reports a disconnected stream currently inside its resume
+	// grace window: the connection is down but the session is still alive,
+	// waiting for the sensor to reconnect.
+	Resumable bool `json:"resumable,omitempty"`
 }
 
 // SourceMeter is implemented by sources that keep SourceStats (the ingest
@@ -58,6 +68,19 @@ type SourceStats struct {
 // their producing side.
 type SourceMeter interface {
 	SourceStats() SourceStats
+}
+
+// RestartableSource is an EventSource that can recover from a mid-stream
+// error. When NextWindow fails on a stream whose source implements this
+// interface, the Runner — within its configured restart budget — waits a
+// jittered exponential backoff, calls Restart, and continues pulling
+// windows from where the stream clock stopped instead of failing the
+// stream. Restart must leave the source ready to serve the window the
+// failure interrupted (typically by reopening whatever backed it);
+// returning an error gives up and fails the stream with both causes.
+type RestartableSource interface {
+	EventSource
+	Restart() error
 }
 
 // SliceSource replays an in-memory, time-sorted event stream — recordings

@@ -24,6 +24,11 @@ const (
 	// StreamCanceled: the stream stopped because the run was canceled
 	// (another stream's failure, a sink error, or ctx cancellation).
 	StreamCanceled
+	// StreamStalled: the stream is still owned by a worker but has made no
+	// window progress within the run's watchdog deadline — typically a
+	// network source whose sensor went quiet. Not terminal: the stream
+	// flips back to running at its next window.
+	StreamStalled
 )
 
 // String implements fmt.Stringer.
@@ -39,6 +44,8 @@ func (s StreamState) String() string {
 		return "failed"
 	case StreamCanceled:
 		return "canceled"
+	case StreamStalled:
+		return "stalled"
 	default:
 		return "unknown"
 	}
@@ -64,6 +71,12 @@ type StreamStatus struct {
 	frameUS    atomic.Int64
 	paramVer   atomic.Int64
 	srcErrs    atomic.Int64
+	stalls     atomic.Int64
+	restarts   atomic.Int64
+	// lastProgress is the UnixNano of the stream's latest window (or its
+	// claim by a worker) — what the run's watchdog measures staleness
+	// against.
+	lastProgress atomic.Int64
 
 	// mu guards the multi-word fields below.
 	mu     sync.Mutex
@@ -72,6 +85,9 @@ type StreamStatus struct {
 	src    SourceStats
 	hasSrc bool
 	errMsg string
+	// stack is the recovered goroutine stack when the stream failed by
+	// panic (contained by the supervisor).
+	stack string
 }
 
 // StreamSnapshot is the JSON view of one stream's StreamStatus.
@@ -107,6 +123,11 @@ type StreamSnapshot struct {
 	// source that errored mid-run after yielding windows shows up here
 	// even though the failure also aborts the run.
 	SourceErrors int64 `json:"source_errors"`
+	// Stalls counts watchdog trips: periods with no window progress within
+	// the run's watchdog deadline. Restarts counts supervised source
+	// restarts (RestartableSource) on this stream.
+	Stalls   int64 `json:"stalls,omitempty"`
+	Restarts int64 `json:"restarts,omitempty"`
 	// Stages is the per-stage timing breakdown for systems that implement
 	// core.StageTimer.
 	Stages *StageSnapshot `json:"stages,omitempty"`
@@ -114,6 +135,9 @@ type StreamSnapshot struct {
 	// a SourceMeter (the ingest layer's NetSource); nil for local sources.
 	Source *SourceStats `json:"source,omitempty"`
 	Error  string       `json:"error,omitempty"`
+	// Stack is the recovered goroutine stack when the stream failed by
+	// panic; empty otherwise.
+	Stack string `json:"stack,omitempty"`
 }
 
 // StageSnapshot is the JSON view of core.StageTimings (totals in µs).
@@ -167,8 +191,40 @@ func (s *StreamStatus) fail(st StreamState, err error) {
 	s.mu.Unlock()
 }
 
+// noteProgress stamps the stream's progress clock and clears a watchdog
+// stall, if one was flagged: progress is the proof of life.
+func (s *StreamStatus) noteProgress(now time.Time) {
+	s.lastProgress.Store(now.UnixNano())
+	s.state.CompareAndSwap(int32(StreamStalled), int32(StreamRunning))
+}
+
+// markStalled flips a running stream to stalled, counting the trip.
+// CAS-only so it can never clobber a terminal state the worker is
+// concurrently writing.
+func (s *StreamStatus) markStalled() bool {
+	if s.state.CompareAndSwap(int32(StreamRunning), int32(StreamStalled)) {
+		s.stalls.Add(1)
+		return true
+	}
+	return false
+}
+
+// addRestart accounts one supervised source restart.
+func (s *StreamStatus) addRestart() { s.restarts.Add(1) }
+
+// failPanic records a contained panic: terminal failure plus the
+// recovered stack for /streams/{id}.
+func (s *StreamStatus) failPanic(err error, stack []byte) {
+	s.setState(StreamFailed)
+	s.mu.Lock()
+	s.errMsg = err.Error()
+	s.stack = string(stack)
+	s.mu.Unlock()
+}
+
 // record accounts one processed window.
 func (s *StreamStatus) record(snap TrackSnapshot) {
+	s.noteProgress(time.Now())
 	s.windows.Add(1)
 	s.events.Add(int64(snap.Events))
 	s.boxes.Add(int64(len(snap.Boxes)))
@@ -229,6 +285,8 @@ func (s *StreamStatus) Snapshot(elapsed time.Duration) StreamSnapshot {
 		FrameUS:      s.frameUS.Load(),
 		ParamVersion: s.paramVer.Load(),
 		SourceErrors: s.srcErrs.Load(),
+		Stalls:       s.stalls.Load(),
+		Restarts:     s.restarts.Load(),
 	}
 	if secs := elapsed.Seconds(); secs > 0 {
 		snap.EventsPerSec = float64(snap.Events) / secs
@@ -254,6 +312,7 @@ func (s *StreamStatus) Snapshot(elapsed time.Duration) StreamSnapshot {
 		snap.Source = &src
 	}
 	snap.Error = s.errMsg
+	snap.Stack = s.stack
 	s.mu.Unlock()
 	return snap
 }
@@ -293,6 +352,10 @@ type StatusSnapshot struct {
 	Boxes   int64 `json:"boxes"`
 	// SourceErrors totals the per-stream source failures.
 	SourceErrors int64 `json:"source_errors"`
+	// Stalls and Restarts total the per-stream watchdog trips and
+	// supervised source restarts.
+	Stalls   int64 `json:"stalls,omitempty"`
+	Restarts int64 `json:"restarts,omitempty"`
 	// SinkUS is cumulative wall-clock inside Sink.Consume; SinkLag is the
 	// number of snapshots queued in the fan-in channel right now.
 	SinkUS        int64            `json:"sink_us"`
@@ -335,6 +398,31 @@ func (r *RunStatus) Stream(sensor int) *StreamStatus {
 	r.mu.RLock()
 	defer r.mu.RUnlock()
 	return r.bySensor[sensor]
+}
+
+// Streams returns the registered stream statuses (a copy of the list; the
+// statuses themselves are live). The run's watchdog scans this.
+func (r *RunStatus) Streams() []*StreamStatus {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]*StreamStatus, len(r.streams))
+	copy(out, r.streams)
+	return out
+}
+
+// FailedStreams lists the names of streams that ended in StreamFailed —
+// the basis for the run's aggregate error when failures were contained
+// rather than run-aborting, and for ebbiot-run's exit code.
+func (r *RunStatus) FailedStreams() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	var out []string
+	for _, st := range r.streams {
+		if st.State() == StreamFailed {
+			out = append(out, st.name)
+		}
+	}
+	return out
 }
 
 // StreamByName returns the status of the first stream with the given label,
@@ -412,6 +500,8 @@ func (r *RunStatus) Snapshot() StatusSnapshot {
 		snap.Events += ss.Events
 		snap.Boxes += ss.Boxes
 		snap.SourceErrors += ss.SourceErrors
+		snap.Stalls += ss.Stalls
+		snap.Restarts += ss.Restarts
 		snap.PerStream = append(snap.PerStream, ss)
 	}
 	if secs := elapsed.Seconds(); secs > 0 {
